@@ -1,0 +1,43 @@
+"""Benchmark harness fixtures.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every figure of the
+paper's evaluation and prints the corresponding data tables.  The shared
+lab is built once per session; its offline artifacts (profiles, measured
+colocations) are disk-cached under ``.repro_cache``.
+
+Set ``REPRO_SCALE=small`` for a fast reduced run; the default is the
+paper-scale configuration (100 games, 700 measured colocations, 5000
+requests), which takes tens of minutes on first run.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.lab import get_lab
+
+
+@pytest.fixture(scope="session")
+def lab():
+    """The session-wide experimental setup."""
+    return get_lab()
+
+
+def run_once(benchmark, fn, *args):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+
+
+def emit(name: str, text: str) -> None:
+    """Publish a figure's rendered data table.
+
+    Printed (visible under ``pytest -s``) and persisted under
+    ``bench_results/`` (override with ``REPRO_BENCH_OUT``) so the tables
+    survive pytest's output capture on passing runs.
+    """
+    print()
+    print(text)
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "bench_results"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / f"{name}.txt").write_text(text + "\n")

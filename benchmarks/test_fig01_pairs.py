@@ -1,0 +1,22 @@
+"""Figure 1 bench: frame rates of colocated game pairs."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig01_pairs
+
+
+def test_fig01_pairs(lab, benchmark):
+    result = run_once(benchmark, fig01_pairs.run, lab)
+    emit("fig01_pairs", fig01_pairs.render(result))
+
+    # Shape: pair outcomes vary widely with the partner (the paper's
+    # motivating observation), and include both >60 FPS and <60 FPS cases.
+    fps = [f for entry in result["pairs"] for f in entry["fps"]]
+    assert max(fps) > 60.0
+    assert min(fps) < 60.0
+    # The same game's FPS depends on its partner.
+    ancestors = [
+        entry["fps"][entry["games"].index("Ancestors Legacy")]
+        for entry in result["pairs"]
+        if "Ancestors Legacy" in entry["games"]
+    ]
+    assert max(ancestors) / min(ancestors) > 1.1

@@ -1,0 +1,20 @@
+"""Figure 2 bench: solo demand diversity and frame-rate headroom."""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig02_catalog
+
+
+def test_fig02_catalog(lab, benchmark):
+    result = run_once(benchmark, fig02_catalog.run, lab)
+    emit("fig02_catalog", fig02_catalog.render(result))
+
+    # Shape: demands vary greatly across games and resource types (2a)...
+    assert result["cpu_demand"].min() < 0.5
+    assert result["gpu_demand"].min() < 0.5
+    # ...and most games exceed the 60 FPS floor when running alone (2b),
+    # i.e. dedicated provisioning wastes resources.
+    fps = np.asarray(result["solo_fps"])
+    assert np.mean(fps >= 60.0) > 0.8
+    assert fps.max() / fps.min() > 3.0

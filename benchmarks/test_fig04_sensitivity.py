@@ -1,0 +1,36 @@
+"""Figure 4 bench: sensitivity curves of representative games."""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig04_sensitivity
+from repro.experiments.fig04_sensitivity import nonlinearity_score
+
+
+def test_fig04_sensitivity(lab, benchmark):
+    result = run_once(benchmark, fig04_sensitivity.run, lab)
+    emit("fig04_sensitivity", fig04_sensitivity.render(result))
+
+    games = result["games"]
+    assert len(games) >= 4
+
+    # Observation 1: games are sensitive to several resources.
+    for name in games:
+        drops = [
+            curve["degradations"][0] - curve["degradations"][-1]
+            for curve in result["curves"][name].values()
+        ]
+        assert sum(d > 0.1 for d in drops) >= 2, name
+
+    # Observation 3: different games have different sensitivity to the
+    # same resource (CPU-CE endpoint spread across games).
+    cpu_end = [result["curves"][n]["CPU-CE"]["degradations"][-1] for n in games]
+    assert max(cpu_end) - min(cpu_end) > 0.2
+
+    # Observation 4: at least some curves are markedly nonlinear.
+    scores = [
+        nonlinearity_score(curve)
+        for name in games
+        for curve in result["curves"][name].values()
+    ]
+    assert max(scores) > 0.12

@@ -1,0 +1,33 @@
+"""Figure 5 bench: intensity of representative games."""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig05_intensity
+from repro.hardware.resources import Resource
+
+
+def test_fig05_intensity(lab, benchmark):
+    result = run_once(benchmark, fig05_intensity.run, lab)
+    emit("fig05_intensity", fig05_intensity.render(result))
+
+    games = result["games"]
+    matrix = np.array(
+        [[result["intensity"][n][r.label] for r in Resource] for n in games]
+    )
+    # Intensities span the paper's 0 .. ~1.5 range with real diversity.
+    assert matrix.min() >= 0.0
+    assert matrix.max() < 2.5
+    assert matrix.max() > 0.3
+    # Observation 3: per-resource spread across games.
+    spread = matrix.max(axis=0) - matrix.min(axis=0)
+    assert spread.max() > 0.2
+
+    # Observation 2 anecdote: Granado Espada exerts little GPU-CE pressure
+    # despite being very sensitive to it (checked in Figure 4).
+    if "Granado Espada" in games:
+        ge = result["intensity"]["Granado Espada"]["GPU-CE"]
+        others = [
+            result["intensity"][n]["GPU-CE"] for n in games if n != "Granado Espada"
+        ]
+        assert ge <= np.median(others)

@@ -1,0 +1,24 @@
+"""Figure 6 bench: aggregate intensity vs sum of individual intensities."""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig06_additivity
+from repro.hardware.resources import Resource
+
+
+def test_fig06_additivity(lab, benchmark):
+    result = run_once(benchmark, fig06_additivity.run, lab)
+    emit("fig06_additivity", fig06_additivity.render(result))
+
+    ratios = []
+    for res in Resource:
+        s = result["sum"][res.label]
+        h = result["holistic"][res.label]
+        if s > 0.05:
+            ratios.append(h / s)
+    # Observation 5: on several resources the holistic aggregate deviates
+    # substantially from the sum — in both directions.
+    assert sum(abs(r - 1.0) > 0.15 for r in ratios) >= 3
+    assert min(ratios) < 0.95
+    assert max(ratios) > 1.05

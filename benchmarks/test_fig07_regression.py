@@ -1,0 +1,39 @@
+"""Figure 7 bench: RM prediction accuracy vs baselines."""
+
+import os
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig07_regression
+
+
+def test_fig07_regression(lab, benchmark):
+    small = os.environ.get("REPRO_SCALE") == "small"
+    result = run_once(benchmark, fig07_regression.run, lab)
+    emit("fig07_regression", fig07_regression.render(result))
+
+    curves = result["error_vs_samples"]
+    # (a) more training data helps every learner (first vs last point).
+    for label, errors in curves.items():
+        assert errors[-1] <= errors[0] + 0.02, label
+    # GBRT is the best (or tied-best) of the four learners at full data.
+    finals = {label: errors[-1] for label, errors in curves.items()}
+    assert finals["GBRT"] <= min(finals.values()) + 0.005
+
+    breakdown = result["breakdown"]
+    # (b) GAugur(RM) beats both baselines overall and per size.
+    for group in breakdown["GAugur(RM)"]:
+        assert breakdown["GAugur(RM)"][group] < breakdown["Sigmoid"][group]
+        assert breakdown["GAugur(RM)"][group] < breakdown["SMiTe"][group]
+    # Headline: GAugur(RM) overall error in the paper's sub-~12% range
+    # (looser at reduced scale) while the baselines sit materially higher.
+    assert breakdown["GAugur(RM)"]["overall"] < (0.16 if small else 0.12)
+    assert breakdown["Sigmoid"]["overall"] > 1.4 * breakdown["GAugur(RM)"]["overall"]
+    assert breakdown["SMiTe"]["overall"] > 1.4 * breakdown["GAugur(RM)"]["overall"]
+
+    # (c) GAugur's error CDF dominates at the median and the tail.
+    for q in (0.5, 0.9):
+        g = np.quantile(result["errors"]["GAugur(RM)"], q)
+        assert g < np.quantile(result["errors"]["Sigmoid"], q)
+        assert g < np.quantile(result["errors"]["SMiTe"], q)

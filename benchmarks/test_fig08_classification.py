@@ -1,0 +1,24 @@
+"""Figure 8 bench: CM prediction accuracy vs baselines."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig08_classification
+
+
+def test_fig08_classification(lab, benchmark):
+    result = run_once(benchmark, fig08_classification.run, lab)
+    emit("fig08_classification", fig08_classification.render(result))
+
+    # (a)/(b): more data helps, and GBDT is the best learner at full data.
+    for key in ("accuracy_vs_samples_60", "accuracy_vs_samples_50"):
+        curves = result[key]
+        for label, accs in curves.items():
+            assert accs[-1] >= accs[0] - 0.02, (key, label)
+        finals = {label: accs[-1] for label, accs in curves.items()}
+        assert finals["GBDT"] >= max(finals.values()) - 0.01
+
+    breakdown = result["breakdown"]
+    # GAugur's models classify at ~95%, clearly above the baselines.
+    assert breakdown["GAugur(CM)"]["overall"] > 0.90
+    assert breakdown["GAugur(CM)"]["overall"] > breakdown["Sigmoid"]["overall"]
+    assert breakdown["GAugur(CM)"]["overall"] > breakdown["SMiTe"]["overall"]
+    assert breakdown["GAugur(RM)"]["overall"] > breakdown["Sigmoid"]["overall"]

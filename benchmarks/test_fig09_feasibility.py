@@ -1,0 +1,33 @@
+"""Figure 9 bench: feasible-colocation identification and server packing."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig09_feasibility
+
+
+def test_fig09_feasibility(lab, benchmark):
+    result = run_once(benchmark, fig09_feasibility.run, lab)
+    emit("fig09_feasibility", fig09_feasibility.render(result))
+
+    for qos, data in result["per_qos"].items():
+        reports = data["reports"]
+        servers = data["servers_used"]
+
+        # GAugur's models judge feasibility most accurately; VBP's recall
+        # collapses because solo-speed demand vectors over-provision.
+        gaugur_best = max(
+            reports["GAugur(CM)"].accuracy, reports["GAugur(RM)"].accuracy
+        )
+        assert gaugur_best >= reports["SMiTe"].accuracy - 0.005
+        assert gaugur_best > reports["VBP"].accuracy
+        assert reports["VBP"].recall < 0.5
+        assert reports["GAugur(CM)"].recall > 2 * reports["VBP"].recall
+
+        # Packing: every interference-aware methodology crushes dedicated
+        # servers and VBP; GAugur packs within a whisker of the best
+        # alternative (in our simulator all ML methods identify the key
+        # large colocations, so the packing spread is narrower than the
+        # paper's — see EXPERIMENTS.md).
+        assert servers["GAugur(CM)"] < 0.8 * result["n_requests"]
+        assert servers["GAugur(CM)"] < 0.8 * servers["VBP"]
+        best = min(v for v in servers.values())
+        assert servers["GAugur(CM)"] <= 1.02 * best

@@ -1,0 +1,32 @@
+"""Figure 10 bench: average FPS on fixed fleets."""
+
+import os
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig10_scheduling
+
+
+def test_fig10_scheduling(lab, benchmark):
+    small = os.environ.get("REPRO_SCALE") == "small"
+    kwargs = (
+        {"n_requests": 1200, "server_counts": (400, 600), "cdf_fleet": 400}
+        if small
+        else {}
+    )
+    result = run_once(
+        benchmark, lambda: fig10_scheduling.run(lab, **kwargs)
+    )
+    emit("fig10_scheduling", fig10_scheduling.render(result))
+
+    avg = result["average_fps"]
+    # Larger fleets help every policy.
+    for label, series in avg.items():
+        assert series[-1] > series[0], label
+    # GAugur(RM) always beats VBP; at paper scale it is the best policy at
+    # every fleet size (the dominance claim needs the full training
+    # campaign, so it is not asserted at reduced scale).
+    for i in range(len(result["server_counts"])):
+        assert avg["GAugur(RM)"][i] > avg["VBP"][i]
+        if not small:
+            best = max(avg[label][i] for label in avg)
+            assert avg["GAugur(RM)"][i] >= best - 0.5

@@ -1,0 +1,33 @@
+"""Overhead bench: GAugur's online prediction latency (Section 3.6).
+
+The paper's deployability argument rests on online prediction being
+effectively free ("negligible overhead"), so requests can be dispatched
+the moment they arrive.  This is a true timing benchmark (many rounds),
+unlike the figure benches which time one full experiment.
+"""
+
+from repro.core.training import ColocationSpec
+from repro.games.resolution import REFERENCE_RESOLUTION
+
+
+def _spec(lab, k=4):
+    return ColocationSpec(
+        tuple((name, REFERENCE_RESOLUTION) for name in lab.names[:k])
+    )
+
+
+def test_online_rm_prediction_latency(lab, benchmark):
+    spec = _spec(lab)
+    lab.rm_model  # train outside the timed region
+    fps = benchmark(lab.predictor.predict_fps, spec)
+    assert len(fps) == 4
+    # "Instantaneous" dispatch: well under 50 ms per colocation query.
+    assert benchmark.stats.stats.mean < 0.05
+
+
+def test_online_cm_prediction_latency(lab, benchmark):
+    spec = _spec(lab)
+    lab.cm_model
+    verdict = benchmark(lab.predictor.colocation_feasible, spec, 60.0)
+    assert isinstance(verdict, bool)
+    assert benchmark.stats.stats.mean < 0.05

@@ -1,0 +1,58 @@
+"""Profile explorer: inspect one game's contention fingerprint.
+
+Profiles a single game against all seven pressure benchmarks and prints
+its sensitivity curves, intensity vector, and the resolution scaling laws
+(Observations 6-8 / Eq. 2) that let GAugur serve any player resolution
+from two-three profiled points.
+
+Run:  python examples/profile_explorer.py "Far Cry4"
+"""
+
+import sys
+
+from repro.games import PRESET_RESOLUTIONS, REFERENCE_RESOLUTION, build_catalog
+from repro.hardware.resources import Resource
+from repro.profiling import ContentionProfiler
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "Far Cry4"
+    catalog = build_catalog()
+    spec = catalog.get(name)
+    print(f"profiling {name} ({spec.genre.value})...\n")
+    profile = ContentionProfiler().profile_game(spec)
+
+    print("sensitivity curves (retained FPS ratio at pressure 0 .. 1):")
+    dials = profile.sensitivity[Resource.CPU_CE].pressures
+    header = "  ".join(f"{d:4.1f}" for d in dials)
+    print(f"  {'resource':8s}  {header}")
+    for res in Resource:
+        curve = profile.sensitivity[res]
+        row = "  ".join(f"{v:4.2f}" for v in curve.degradations)
+        print(f"  {res.label:8s}  {row}")
+
+    print("\nintensity (benchmark slowdown) at the profiled resolutions:")
+    for resolution in profile.profiled_resolutions:
+        vec = profile.intensity[resolution]
+        row = "  ".join(f"{res.label}={vec[res]:.2f}" for res in Resource)
+        print(f"  {resolution}: {row}")
+
+    print("\nresolution laws (Eq. 2 + Observations 7-8):")
+    for resolution in PRESET_RESOLUTIONS:
+        fps = profile.solo_fps_at(resolution)
+        gpu_ce = profile.intensity_at(resolution)[Resource.GPU_CE]
+        print(
+            f"  {str(resolution):9s}: solo {fps:6.1f} FPS, "
+            f"GPU-CE intensity {gpu_ce:.2f}"
+        )
+
+    cpu_gb, gpu_gb = profile.cpu_mem_gb, profile.gpu_mem_gb
+    print(f"\nmemory demand: {cpu_gb:.1f} GB RAM, {gpu_gb:.1f} GB VRAM")
+    print(
+        f"solo frame rate at {REFERENCE_RESOLUTION}: "
+        f"{profile.solo_fps_at(REFERENCE_RESOLUTION):.1f} FPS"
+    )
+
+
+if __name__ == "__main__":
+    main()

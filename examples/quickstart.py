@@ -1,0 +1,77 @@
+"""Quickstart: profile games, train GAugur, predict a colocation.
+
+Walks the full methodology on a handful of games in about a minute:
+
+1. build the synthetic catalog (the simulated game install base),
+2. profile contention features offline (sensitivity + intensity),
+3. measure a small colocation campaign and train the CM/RM,
+4. predict an unseen colocation and compare with the simulator's truth.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ColocationSpec,
+    GAugurClassifier,
+    GAugurRegressor,
+    InterferencePredictor,
+    build_dataset,
+    generate_colocations,
+    measure_colocations,
+)
+from repro.games import REFERENCE_RESOLUTION, build_catalog
+from repro.profiling import ContentionProfiler
+from repro.simulator import run_colocation
+
+GAMES = ["Dota2", "H1Z1", "Far Cry4", "Stardew Valley", "World of Warcraft",
+         "Team Fortress 2", "Cities: Skylines", "NieR: Automata"]
+QOS = 60.0
+
+
+def main() -> None:
+    catalog = build_catalog()
+
+    print(f"1. Profiling {len(GAMES)} games (offline, once per game)...")
+    profiler = ContentionProfiler()
+    db = profiler.profile_catalog([catalog.get(n) for n in GAMES])
+    for name in GAMES[:3]:
+        profile = db.get(name)
+        print(f"   {name}: solo {profile.solo_fps_at(REFERENCE_RESOLUTION):.0f} FPS @1080p")
+
+    print("\n2. Measuring a training campaign of real colocations...")
+    colocations = generate_colocations(GAMES, sizes={2: 80, 3: 30, 4: 20}, seed=7)
+    measured = measure_colocations(catalog, colocations)
+    dataset = build_dataset(measured, db, qos_values=(QOS,))
+    print(f"   {len(colocations)} colocations -> {len(dataset.rm)} samples per model")
+
+    print("\n3. Training the classification (CM) and regression (RM) models...")
+    cm = GAugurClassifier().fit(dataset.cm)
+    rm = GAugurRegressor().fit(dataset.rm)
+    predictor = InterferencePredictor(db, classifier=cm, regressor=rm)
+
+    print("\n4. Predicting an unseen colocation vs. ground truth:")
+    spec = ColocationSpec(
+        (
+            ("Dota2", REFERENCE_RESOLUTION),
+            ("Far Cry4", REFERENCE_RESOLUTION),
+            ("Stardew Valley", REFERENCE_RESOLUTION),
+        )
+    )
+    predicted_fps = predictor.predict_fps(spec)
+    feasible = predictor.predict_feasible(spec, QOS)
+    actual = run_colocation(spec.instances(catalog))
+
+    print(f"   {'game':22s} {'predicted':>10s} {'actual':>8s} {'meets ' + str(int(QOS)):>9s}")
+    for i, (name, _) in enumerate(spec.entries):
+        print(
+            f"   {name:22s} {predicted_fps[i]:9.1f}  {actual.fps[i]:7.1f} "
+            f"{str(bool(feasible[i])):>9s}"
+        )
+    errors = np.abs(predicted_fps - np.asarray(actual.fps)) / np.asarray(actual.fps)
+    print(f"\n   mean prediction error: {errors.mean():.1%}")
+
+
+if __name__ == "__main__":
+    main()

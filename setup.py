@@ -1,0 +1,26 @@
+"""Package metadata.
+
+Kept in setup.py (rather than a PEP 621 [project] table) so that
+``pip install -e .`` works offline via the legacy editable-install path —
+this environment has no network and no ``wheel`` package, which PEP 517
+builds require.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "GAugur reproduction: performance-interference prediction for "
+        "colocated cloud games (HPDC'19)"
+    ),
+    long_description=open("README.md").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,19 @@
+"""Baseline interference predictors the paper compares against (Section 4.1).
+
+* :class:`SigmoidPredictor` — per-game logistic model in the *number* of
+  co-located games only (prior cloud-gaming work [6, 21]).
+* :class:`SMiTePredictor` — linear model over (sensitivity-score x
+  intensity) products per resource, extended to >2 games with Paragon's
+  additive-intensity assumption (Eqs. 8-9).
+* :class:`VBPJudge` — vector bin packing feasibility: colocate while summed
+  demand vectors fit the server (Section 2.2), no interference model.
+
+All predictors consume only profiled/observable quantities, and expose the
+same colocation-level API as :class:`repro.core.InterferencePredictor`.
+"""
+
+from repro.baselines.sigmoid import SigmoidPredictor
+from repro.baselines.smite import SMiTePredictor
+from repro.baselines.vbp import VBPJudge
+
+__all__ = ["SigmoidPredictor", "SMiTePredictor", "VBPJudge"]

@@ -1,0 +1,101 @@
+"""The SMiTe baseline [39] with Paragon's additive extension [13].
+
+SMiTe predicts the degradation of application A colocated with B as a
+linear combination of per-resource (sensitivity-score x intensity)
+products (Eq. 8).  Its sensitivity score is a single scalar per resource —
+the degradation suffered under *maximum* pressure — so nonlinear curves
+collapse to their endpoint.  SMiTe only handles pairs; following the paper,
+colocations of more than two games substitute the *sum* of co-runner
+intensities (Eq. 9), i.e. Paragon's additive-intensity assumption, which
+Observation 5 shows is wrong for games — this is exactly where the baseline
+loses accuracy on larger colocations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.training import ColocationSpec, MeasuredColocation
+from repro.hardware.resources import NUM_RESOURCES, Resource
+
+if TYPE_CHECKING:
+    from repro.profiling.database import ProfileDatabase
+
+__all__ = ["SMiTePredictor"]
+
+
+class SMiTePredictor:
+    """Linear sensitivity-x-intensity interference model (Eqs. 8-9)."""
+
+    def __init__(self, db: "ProfileDatabase"):
+        self.db = db
+
+    # ------------------------------------------------------------------
+
+    def _sensitivity_scores(self, name: str) -> np.ndarray:
+        """Per-resource scalar scores: degradation suffered at max pressure."""
+        profile = self.db.get(name)
+        return np.array(
+            [1.0 - profile.sensitivity[res].at_full_pressure for res in Resource]
+        )
+
+    def _feature_row(self, spec: ColocationSpec, target_index: int) -> np.ndarray:
+        """(7,) row: score_r * sum of co-runner intensities on r."""
+        scores = self._sensitivity_scores(spec.entries[target_index][0])
+        summed = np.zeros(NUM_RESOURCES, dtype=float)
+        for j, (name, resolution) in enumerate(spec.entries):
+            if j == target_index:
+                continue
+            summed += self.db.get(name).intensity_at(resolution).values
+        return scores * summed
+
+    def fit(self, measured: Sequence[MeasuredColocation]) -> "SMiTePredictor":
+        """Derive the coefficients c_0..c_7 by least squares on training data."""
+        rows, targets = [], []
+        for m in measured:
+            if m.spec.size < 2:
+                continue
+            for i, (name, resolution) in enumerate(m.spec.entries):
+                solo = self.db.get(name).solo_fps_at(resolution)
+                rows.append(self._feature_row(m.spec, i))
+                targets.append(m.fps[i] / solo)
+        if not rows:
+            raise ValueError("SMiTe needs at least one multi-game measurement")
+        X = np.column_stack([np.vstack(rows), np.ones(len(rows))])
+        solution, *_ = np.linalg.lstsq(X, np.asarray(targets), rcond=None)
+        self.coef_ = solution[:NUM_RESOURCES]
+        self.intercept_ = float(solution[NUM_RESOURCES])
+        return self
+
+    # ------------------------------------------------------------------
+
+    def predict_degradations(self, spec: ColocationSpec) -> np.ndarray:
+        """Degradation ratio per entry via the linear model."""
+        self._check_fitted()
+        values = [
+            float(self._feature_row(spec, i) @ self.coef_) + self.intercept_
+            for i in range(spec.size)
+        ]
+        return np.clip(np.asarray(values), 0.01, 1.5)
+
+    def predict_fps(self, spec: ColocationSpec) -> np.ndarray:
+        """Predicted FPS per entry."""
+        solo = np.array(
+            [self.db.get(name).solo_fps_at(res) for name, res in spec.entries]
+        )
+        return self.predict_degradations(spec) * solo
+
+    def predict_feasible(self, spec: ColocationSpec, qos: float) -> np.ndarray:
+        """Per-entry QoS verdicts by thresholding predicted FPS."""
+        return self.predict_fps(spec) >= qos
+
+    def colocation_feasible(self, spec: ColocationSpec, qos: float) -> bool:
+        """True iff every entry is predicted to meet QoS."""
+        return bool(np.all(self.predict_feasible(spec, qos)))
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "coef_"):
+            raise RuntimeError("SMiTePredictor is not fitted; call fit() first")

@@ -1,0 +1,38 @@
+"""Tunable single-resource pressure microbenchmarks.
+
+The paper (Section 3.2) designs one benchmark per shared resource, each able
+to hold an exactly calibrated pressure ``x`` on its resource while staying
+as quiet as practical on the others.  Sensitivity profiling colocates a game
+with a benchmark sweeping ``x`` from 0 to 1; intensity profiling measures
+how much the game slows the benchmark down.
+
+Here each benchmark is a workload model for :mod:`repro.simulator`: it pins
+its calibrated utilization (the paper tunes sleep intervals until observed
+utilization equals the dial, so contention does not change the pressure it
+*exerts*), carries the realistic cross-resource spill the paper acknowledges
+(e.g. the GPU-BW benchmark necessarily touches GPU caches), and reports a
+completion-time slowdown when pressured by co-runners.
+"""
+
+from repro.bench.base import PressureBenchmark
+from repro.bench.cpu import cpu_core_benchmark, llc_benchmark, mem_bw_benchmark
+from repro.bench.gpu import (
+    gpu_bw_benchmark,
+    gpu_core_benchmark,
+    gpu_l2_benchmark,
+    pcie_bw_benchmark,
+)
+from repro.bench.suite import BENCHMARK_FACTORIES, make_benchmark
+
+__all__ = [
+    "PressureBenchmark",
+    "cpu_core_benchmark",
+    "llc_benchmark",
+    "mem_bw_benchmark",
+    "gpu_core_benchmark",
+    "gpu_bw_benchmark",
+    "gpu_l2_benchmark",
+    "pcie_bw_benchmark",
+    "BENCHMARK_FACTORIES",
+    "make_benchmark",
+]

@@ -1,0 +1,89 @@
+"""Common pressure-benchmark model."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.resources import NUM_RESOURCES, Resource, ResourceVector
+from repro.utils.validation import check_fraction, check_positive
+
+__all__ = ["PressureBenchmark"]
+
+
+@dataclass(frozen=True)
+class PressureBenchmark:
+    """A calibrated single-resource pressure generator.
+
+    Parameters
+    ----------
+    resource:
+        The target shared resource.
+    pressure:
+        The dial ``x in [0, 1]``.  Calibration (the paper tunes sleep time
+        per sampled ``x``) means the benchmark exerts exactly this
+        utilization on its target resource regardless of contention.
+    spill:
+        Fraction of the dial leaking onto other resources, e.g. the GPU-BW
+        benchmark cannot stream memory without occupying GPU cache.
+    slowdown_gain:
+        Completion-time inflation per unit of pressure suffered on the
+        target resource — how loudly this benchmark reports contention.
+    cross_gain:
+        Much smaller inflation per unit of pressure on non-target resources.
+    """
+
+    resource: Resource
+    pressure: float
+    spill: Mapping[Resource, float] = field(default_factory=dict)
+    slowdown_gain: float = 1.4
+    cross_gain: float = 0.06
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        check_fraction(self.pressure, "pressure")
+        check_positive(self.slowdown_gain, "slowdown_gain")
+        if self.cross_gain < 0:
+            raise ValueError("cross_gain must be >= 0")
+        for res, frac in self.spill.items():
+            check_fraction(frac, f"spill[{Resource(res).label}]")
+        if Resource(self.resource) in self.spill:
+            raise ValueError("spill must not include the target resource")
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"bench[{Resource(self.resource).label}@{self.pressure:.2f}]"
+            )
+
+    def with_pressure(self, pressure: float) -> "PressureBenchmark":
+        """Same benchmark at a different dial setting."""
+        return PressureBenchmark(
+            resource=self.resource,
+            pressure=pressure,
+            spill=dict(self.spill),
+            slowdown_gain=self.slowdown_gain,
+            cross_gain=self.cross_gain,
+        )
+
+    def utilization(self) -> ResourceVector:
+        """Calibrated utilization vector: the dial plus spill."""
+        values = np.zeros(NUM_RESOURCES, dtype=float)
+        values[int(self.resource)] = self.pressure
+        for res, frac in self.spill.items():
+            values[int(res)] = frac * self.pressure
+        return ResourceVector(values)
+
+    def slowdown(self, pressures: np.ndarray) -> float:
+        """Completion-time inflation (>= 1) under a ``(7,)`` pressure vector.
+
+        The paper's intensity metric is the benchmark's slowdown when
+        colocated with a game; it responds mainly to the target resource
+        with a weak cross-resource term.
+        """
+        pressures = np.asarray(pressures, dtype=float)
+        if pressures.shape != (NUM_RESOURCES,):
+            raise ValueError(f"expected (7,) pressure vector, got {pressures.shape}")
+        own = float(pressures[int(self.resource)])
+        cross = float(pressures.sum() - own)
+        return 1.0 + self.slowdown_gain * own + self.cross_gain * cross

@@ -1,0 +1,58 @@
+"""CPU-side pressure benchmarks (CPU-CE, LLC, MEM-BW).
+
+Benchmark designs for the CPU-side resources follow the prior work the
+paper cites (iBench, Bubble-Up, Paragon): spin/sleep duty-cycle kernels for
+core occupancy, random pointer-chases over an ``x * capacity`` working set
+for the last-level cache, and streaming copies for memory bandwidth.  Each
+model records the cross-resource spill its real counterpart would have —
+a streaming-copy kernel necessarily occupies some LLC and some core time.
+"""
+
+from __future__ import annotations
+
+from repro.bench.base import PressureBenchmark
+from repro.hardware.resources import Resource
+
+__all__ = ["cpu_core_benchmark", "llc_benchmark", "mem_bw_benchmark"]
+
+
+def cpu_core_benchmark(pressure: float) -> PressureBenchmark:
+    """CPU-CE pressure: one spinning thread per core with tuned sleeps.
+
+    A pressure of ``x`` keeps every core busy with probability ``x``; the
+    arithmetic kernel has a tiny footprint, so spill is negligible.
+    """
+    return PressureBenchmark(
+        resource=Resource.CPU_CE,
+        pressure=pressure,
+        spill={Resource.LLC: 0.02},
+        slowdown_gain=1.35,
+    )
+
+
+def llc_benchmark(pressure: float) -> PressureBenchmark:
+    """LLC pressure: random accesses over an ``x * LLC-capacity`` array.
+
+    Strides exceed L1/L2 reach so every access lands in the LLC; the misses
+    it induces necessarily consume some memory bandwidth and core time.
+    """
+    return PressureBenchmark(
+        resource=Resource.LLC,
+        pressure=pressure,
+        spill={Resource.MEM_BW: 0.15, Resource.CPU_CE: 0.06},
+        slowdown_gain=1.25,
+    )
+
+
+def mem_bw_benchmark(pressure: float) -> PressureBenchmark:
+    """MEM-BW pressure: non-temporal streaming copies between arrays.
+
+    Uses ``_mm_stream``-style stores so cache spill stays small; the copy
+    loop still occupies a core fraction while streaming.
+    """
+    return PressureBenchmark(
+        resource=Resource.MEM_BW,
+        pressure=pressure,
+        spill={Resource.LLC: 0.08, Resource.CPU_CE: 0.08},
+        slowdown_gain=1.45,
+    )

@@ -1,0 +1,71 @@
+"""GPU-side pressure benchmarks (GPU-CE, GPU-BW, GPU-L2, PCIe-BW).
+
+These are the paper's novel contribution on the benchmarking side
+(Section 3.2, "the benchmarks for the shared resources on GPU have not
+been studied before"):
+
+* **GPU-CE** — launch one thread per core running the same kernel, with a
+  sleep between rounds tuned until the performance counters report exactly
+  the target utilization.
+* **GPU-BW** — streaming copies across a fraction of GPU memory.  Modern
+  GPUs have no cache-bypassing store (no ``_mm_stream_si64x`` analogue),
+  so this benchmark *necessarily* pressures the GPU caches too — the paper
+  argues this is fine because no real application occupies bandwidth
+  without touching cache.  We model that with a substantial GPU-L2 spill.
+* **GPU-L2** — random accesses over an ``x * L2-capacity`` array with
+  strides larger than L1 reach.
+* **PCIe-BW** — streaming transfers between CPU and GPU memory; occupies
+  some bandwidth on both ends of the link.
+"""
+
+from __future__ import annotations
+
+from repro.bench.base import PressureBenchmark
+from repro.hardware.resources import Resource
+
+__all__ = [
+    "gpu_core_benchmark",
+    "gpu_bw_benchmark",
+    "gpu_l2_benchmark",
+    "pcie_bw_benchmark",
+]
+
+
+def gpu_core_benchmark(pressure: float) -> PressureBenchmark:
+    """GPU-CE pressure: per-core kernel rounds with tuned inter-round sleeps."""
+    return PressureBenchmark(
+        resource=Resource.GPU_CE,
+        pressure=pressure,
+        spill={Resource.GPU_L2: 0.03},
+        slowdown_gain=1.40,
+    )
+
+
+def gpu_bw_benchmark(pressure: float) -> PressureBenchmark:
+    """GPU-BW pressure: device-memory streaming copies (cache spill unavoidable)."""
+    return PressureBenchmark(
+        resource=Resource.GPU_BW,
+        pressure=pressure,
+        spill={Resource.GPU_L2: 0.30, Resource.GPU_CE: 0.05},
+        slowdown_gain=1.50,
+    )
+
+
+def gpu_l2_benchmark(pressure: float) -> PressureBenchmark:
+    """GPU-L2 pressure: random accesses over an ``x * capacity`` device array."""
+    return PressureBenchmark(
+        resource=Resource.GPU_L2,
+        pressure=pressure,
+        spill={Resource.GPU_BW: 0.12, Resource.GPU_CE: 0.04},
+        slowdown_gain=1.25,
+    )
+
+
+def pcie_bw_benchmark(pressure: float) -> PressureBenchmark:
+    """PCIe-BW pressure: host<->device streaming transfers."""
+    return PressureBenchmark(
+        resource=Resource.PCIE_BW,
+        pressure=pressure,
+        spill={Resource.MEM_BW: 0.12, Resource.GPU_BW: 0.10},
+        slowdown_gain=1.30,
+    )

@@ -1,0 +1,33 @@
+"""The full benchmark suite, one factory per shared resource."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.bench.base import PressureBenchmark
+from repro.bench.cpu import cpu_core_benchmark, llc_benchmark, mem_bw_benchmark
+from repro.bench.gpu import (
+    gpu_bw_benchmark,
+    gpu_core_benchmark,
+    gpu_l2_benchmark,
+    pcie_bw_benchmark,
+)
+from repro.hardware.resources import Resource
+
+__all__ = ["BENCHMARK_FACTORIES", "make_benchmark"]
+
+#: One benchmark factory per shared resource (paper Section 3.2).
+BENCHMARK_FACTORIES: dict[Resource, Callable[[float], PressureBenchmark]] = {
+    Resource.CPU_CE: cpu_core_benchmark,
+    Resource.LLC: llc_benchmark,
+    Resource.MEM_BW: mem_bw_benchmark,
+    Resource.GPU_CE: gpu_core_benchmark,
+    Resource.GPU_BW: gpu_bw_benchmark,
+    Resource.GPU_L2: gpu_l2_benchmark,
+    Resource.PCIE_BW: pcie_bw_benchmark,
+}
+
+
+def make_benchmark(resource: Resource, pressure: float) -> PressureBenchmark:
+    """Instantiate the benchmark for ``resource`` at dial ``pressure``."""
+    return BENCHMARK_FACTORIES[Resource(resource)](pressure)

@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+Wraps the library's offline/online workflow in four subcommands::
+
+    python -m repro catalog  [--genre moba-esports]
+    python -m repro profile  --games "Dota2,H1Z1" --out db.json
+    python -m repro train    --db db.json --pairs 80 --out predictor.json
+    python -m repro predict  --predictor predictor.json \\
+                             --colocation "Dota2@1920x1080,H1Z1@1280x720" --qos 60
+    python -m repro experiments [--extensions] [--out results.md]
+
+Colocations are written ``Game@WxH`` entries joined with commas; the
+resolution suffix is optional and defaults to 1080p.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import (
+    ColocationSpec,
+    GAugurClassifier,
+    GAugurRegressor,
+    InterferencePredictor,
+    build_dataset,
+    generate_colocations,
+    measure_colocations,
+)
+from repro.games import REFERENCE_RESOLUTION, Resolution, build_catalog
+from repro.games.genres import Genre
+from repro.profiling import ContentionProfiler, ProfileDatabase
+
+__all__ = ["main", "parse_colocation"]
+
+
+def parse_colocation(text: str) -> ColocationSpec:
+    """Parse ``"GameA@1920x1080,GameB"`` into a :class:`ColocationSpec`."""
+    entries = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "@" in chunk:
+            name, _, res_text = chunk.rpartition("@")
+            try:
+                width, height = res_text.lower().split("x")
+                resolution = Resolution(int(width), int(height))
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad resolution {res_text!r} (expected WxH, e.g. 1920x1080)"
+                ) from exc
+        else:
+            name, resolution = chunk, REFERENCE_RESOLUTION
+        entries.append((name.strip(), resolution))
+    if not entries:
+        raise ValueError("colocation must name at least one game")
+    return ColocationSpec(tuple(entries))
+
+
+def _cmd_catalog(args) -> int:
+    catalog = build_catalog(args.seed)
+    games = catalog.games()
+    if args.genre:
+        games = [g for g in games if g.genre.value == args.genre]
+        if not games:
+            valid = ", ".join(sorted(g.value for g in Genre))
+            print(f"no games of genre {args.genre!r}; genres: {valid}")
+            return 1
+    print(f"{'game':44s} {'genre':16s} {'solo FPS @1080p':>15s}")
+    for game in games:
+        print(
+            f"{game.name:44s} {game.genre.value:16s} "
+            f"{game.solo_fps_nominal(REFERENCE_RESOLUTION):15.0f}"
+        )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    catalog = build_catalog(args.seed)
+    names = [n.strip() for n in args.games.split(",") if n.strip()]
+    specs = [catalog.get(n) for n in names]
+    profiler = ContentionProfiler()
+
+    def progress(name: str, done: int, total: int) -> None:
+        print(f"  [{done}/{total}] {name}")
+
+    print(f"profiling {len(specs)} games...")
+    db = profiler.profile_catalog(specs, progress=progress)
+    db.save(args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    catalog = build_catalog(args.seed)
+    db = ProfileDatabase.load(args.db)
+    sizes = {2: args.pairs}
+    if args.triples:
+        sizes[3] = args.triples
+    if args.quads:
+        sizes[4] = args.quads
+    print(f"measuring campaign {sizes} over {len(db)} games...")
+    colocations = generate_colocations(db.names(), sizes=sizes, seed=args.seed)
+    measured = measure_colocations(catalog, colocations)
+    dataset = build_dataset(measured, db, qos_values=(args.qos,))
+    print(f"training CM and RM on {len(dataset.rm)} samples...")
+    predictor = InterferencePredictor(
+        db,
+        classifier=GAugurClassifier().fit(dataset.cm),
+        regressor=GAugurRegressor().fit(dataset.rm),
+    )
+    predictor.save(args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    predictor = InterferencePredictor.load(args.predictor)
+    spec = parse_colocation(args.colocation)
+    fps = predictor.predict_fps(spec)
+    verdicts = predictor.predict_feasible(spec, args.qos)
+    print(f"{'game':40s} {'predicted FPS':>13s} {'meets QoS':>10s}")
+    for i, (name, resolution) in enumerate(spec.entries):
+        print(
+            f"{name + ' @ ' + str(resolution):40s} {fps[i]:13.1f} "
+            f"{str(bool(verdicts[i])):>10s}"
+        )
+    feasible = bool(verdicts.all())
+    print(f"\ncolocation {'FEASIBLE' if feasible else 'NOT feasible'} at {args.qos:.0f} FPS")
+    return 0 if feasible else 2
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    argv = []
+    if args.extensions:
+        argv.append("--extensions")
+    if args.out:
+        argv.append(args.out)
+    return runner_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GAugur reproduction command-line interface"
+    )
+    parser.add_argument("--seed", type=int, default=20190622, help="catalog seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("catalog", help="list the game catalog")
+    p.add_argument("--genre", help="filter by genre slug")
+    p.set_defaults(fn=_cmd_catalog)
+
+    p = sub.add_parser("profile", help="profile games into a database")
+    p.add_argument("--games", required=True, help="comma-separated game names")
+    p.add_argument("--out", default="profiles.json", help="output path")
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser("train", help="measure a campaign and train a predictor")
+    p.add_argument("--db", required=True, help="profile database path")
+    p.add_argument("--pairs", type=int, default=80, help="pair colocations")
+    p.add_argument("--triples", type=int, default=30, help="triple colocations")
+    p.add_argument("--quads", type=int, default=20, help="quadruple colocations")
+    p.add_argument("--qos", type=float, default=60.0, help="QoS floor (FPS)")
+    p.add_argument("--out", default="predictor.json", help="output path")
+    p.set_defaults(fn=_cmd_train)
+
+    p = sub.add_parser("predict", help="predict a colocation's outcome")
+    p.add_argument("--predictor", required=True, help="predictor bundle path")
+    p.add_argument("--colocation", required=True, help='e.g. "Dota2@1920x1080,H1Z1"')
+    p.add_argument("--qos", type=float, default=60.0, help="QoS floor (FPS)")
+    p.set_defaults(fn=_cmd_predict)
+
+    p = sub.add_parser("experiments", help="run the evaluation harness")
+    p.add_argument("--extensions", action="store_true", help="include extensions")
+    p.add_argument("--out", help="write results markdown here")
+    p.set_defaults(fn=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""GAugur core: contention features, prediction models, online predictor.
+
+Implements the paper's methodology (Section 3): profiled sensitivity curves
+and intensities as features, the Eq. 5 aggregate-intensity transform that
+fixes the input dimensionality for arbitrary colocation sizes, the
+classification model (CM) for QoS feasibility, the regression model (RM)
+for exact degradation, training-sample generation from measured
+colocations, and a real-time online predictor facade.
+"""
+
+from repro.core.classification import GAugurClassifier
+from repro.core.delay import (
+    GAugurDelayRegressor,
+    build_delay_dataset,
+    measure_delay_colocations,
+    solo_delay_ms,
+)
+from repro.core.features import (
+    aggregate_intensity,
+    cm_feature_names,
+    cm_feature_vector,
+    rm_feature_names,
+    rm_feature_vector,
+)
+from repro.core.predictor import InterferencePredictor
+from repro.core.profiles import GameProfile, SensitivityCurve
+from repro.core.regression import GAugurRegressor
+from repro.core.training import (
+    ColocationSpec,
+    MeasuredColocation,
+    TrainingDataset,
+    build_dataset,
+    generate_colocations,
+    measure_colocations,
+)
+
+__all__ = [
+    "SensitivityCurve",
+    "GameProfile",
+    "aggregate_intensity",
+    "cm_feature_vector",
+    "rm_feature_vector",
+    "cm_feature_names",
+    "rm_feature_names",
+    "GAugurClassifier",
+    "GAugurRegressor",
+    "GAugurDelayRegressor",
+    "build_delay_dataset",
+    "measure_delay_colocations",
+    "solo_delay_ms",
+    "InterferencePredictor",
+    "ColocationSpec",
+    "MeasuredColocation",
+    "TrainingDataset",
+    "generate_colocations",
+    "measure_colocations",
+    "build_dataset",
+]

@@ -1,0 +1,100 @@
+"""GAugur's classification model (CM, Eq. 3).
+
+Predicts whether a game meets the QoS frame-rate floor under a colocation.
+The paper keeps the CM alongside the RM because direct classification beats
+thresholding regression output (Section 3.4); GBDT is the default learner.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.features import cm_feature_vector
+from repro.core.profiles import GameProfile
+from repro.core.training import SampleSet
+from repro.games.resolution import Resolution
+from repro.ml.base import BaseEstimator, check_array
+from repro.ml.gbdt import GradientBoostingClassifier
+from repro.ml.preprocessing import StandardScaler
+
+__all__ = ["GAugurClassifier"]
+
+
+class GAugurClassifier:
+    """The CM: colocation features + QoS floor -> feasible / infeasible.
+
+    Parameters
+    ----------
+    estimator:
+        Any fit/predict classifier; defaults to gradient-boosted trees with
+        Newton leaf updates (the paper's GBDT, its best performer).
+    """
+
+    def __init__(self, estimator: BaseEstimator | None = None):
+        self.estimator = (
+            estimator
+            if estimator is not None
+            else GradientBoostingClassifier(n_estimators=300, learning_rate=0.06)
+        )
+        self._scaler = StandardScaler()
+
+    def fit(self, samples: SampleSet) -> "GAugurClassifier":
+        """Train on a CM sample set from :func:`repro.core.training.build_dataset`."""
+        if set(np.unique(samples.y)) - {0, 1}:
+            raise ValueError("CM labels must be binary 0/1")
+        X = self._scaler.fit_transform(samples.X)
+        self.estimator.fit(X, samples.y)
+        self.n_features_ = samples.X.shape[1]
+        return self
+
+    def predict_from_features(self, X) -> np.ndarray:
+        """Predict 0/1 QoS outcomes for raw CM feature rows."""
+        if not hasattr(self, "n_features_"):
+            raise RuntimeError("GAugurClassifier is not fitted")
+        X = check_array(X)
+        return np.asarray(self.estimator.predict(self._scaler.transform(X)), dtype=int)
+
+    def predict(
+        self,
+        target: GameProfile,
+        target_resolution: Resolution,
+        co_runners: Sequence[tuple[GameProfile, Resolution]],
+        qos: float,
+    ) -> bool:
+        """Does ``target`` meet ``qos`` FPS when colocated with ``co_runners``?"""
+        if not co_runners:
+            raise ValueError("predict requires at least one co-runner")
+        co = [p.intensity_at(res).values for p, res in co_runners]
+        x = cm_feature_vector(
+            qos,
+            target.solo_fps_at(target_resolution),
+            target.sensitivity_vector(),
+            co,
+        )
+        return bool(self.predict_from_features(x.reshape(1, -1))[0])
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialize the fitted model to plain types."""
+        from repro.ml.serialization import estimator_to_dict
+
+        if not hasattr(self, "n_features_"):
+            raise RuntimeError("cannot serialize an unfitted GAugurClassifier")
+        return {
+            "estimator": estimator_to_dict(self.estimator),
+            "scaler": estimator_to_dict(self._scaler),
+            "n_features": self.n_features_,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GAugurClassifier":
+        """Inverse of :meth:`to_dict`."""
+        from repro.ml.serialization import estimator_from_dict
+
+        model = cls(estimator=estimator_from_dict(data["estimator"]))
+        model._scaler = estimator_from_dict(data["scaler"])
+        model.n_features_ = int(data["n_features"])
+        return model

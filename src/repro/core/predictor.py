@@ -1,0 +1,140 @@
+"""Online prediction facade (paper Section 3.5, "online prediction").
+
+Bundles the profile database with trained CM/RM models behind a
+colocation-level API: given any :class:`ColocationSpec`, returns per-game
+QoS verdicts, degradation ratios or frame rates instantaneously — the
+operation a cloud-gaming request dispatcher performs at every arrival.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.classification import GAugurClassifier
+from repro.core.features import cm_feature_vector, rm_feature_vector
+from repro.core.regression import GAugurRegressor
+from repro.core.training import ColocationSpec
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid the core <-> profiling import cycle
+    from repro.profiling.database import ProfileDatabase
+
+__all__ = ["InterferencePredictor"]
+
+
+class InterferencePredictor:
+    """Real-time interference predictor over a profiled game population."""
+
+    def __init__(
+        self,
+        db: ProfileDatabase,
+        classifier: GAugurClassifier | None = None,
+        regressor: GAugurRegressor | None = None,
+    ):
+        if classifier is None and regressor is None:
+            raise ValueError("provide at least one of classifier / regressor")
+        self.db = db
+        self.classifier = classifier
+        self.regressor = regressor
+
+    # ------------------------------------------------------------------
+
+    def _inputs(self, spec: ColocationSpec):
+        profiles = [self.db.get(name) for name, _ in spec.entries]
+        intensities = [
+            profiles[i].intensity_at(res).values
+            for i, (_, res) in enumerate(spec.entries)
+        ]
+        solo = [
+            profiles[i].solo_fps_at(res) for i, (_, res) in enumerate(spec.entries)
+        ]
+        return profiles, intensities, solo
+
+    def predict_degradations(self, spec: ColocationSpec) -> np.ndarray:
+        """RM degradation ratio per entry of the colocation."""
+        if self.regressor is None:
+            raise RuntimeError("no regression model attached")
+        if spec.size < 2:
+            return np.ones(spec.size, dtype=float)
+        profiles, intensities, _ = self._inputs(spec)
+        rows = []
+        for i in range(spec.size):
+            co = [intensities[j] for j in range(spec.size) if j != i]
+            rows.append(rm_feature_vector(profiles[i].sensitivity_vector(), co))
+        return self.regressor.predict_from_features(np.vstack(rows))
+
+    def predict_fps(self, spec: ColocationSpec) -> np.ndarray:
+        """Predicted colocated FPS per entry (RM degradation x solo FPS)."""
+        _, _, solo = self._inputs(spec)
+        return self.predict_degradations(spec) * np.asarray(solo)
+
+    def predict_feasible(self, spec: ColocationSpec, qos: float) -> np.ndarray:
+        """CM verdict per entry: does each game meet ``qos`` FPS?"""
+        if self.classifier is None:
+            raise RuntimeError("no classification model attached")
+        if spec.size < 2:
+            # A game running alone is feasible iff its solo FPS meets QoS.
+            _, _, solo = self._inputs(spec)
+            return np.asarray([fps >= qos for fps in solo], dtype=bool)
+        profiles, intensities, solo = self._inputs(spec)
+        rows = []
+        for i in range(spec.size):
+            co = [intensities[j] for j in range(spec.size) if j != i]
+            rows.append(
+                cm_feature_vector(
+                    qos, solo[i], profiles[i].sensitivity_vector(), co
+                )
+            )
+        return self.classifier.predict_from_features(np.vstack(rows)).astype(bool)
+
+    def colocation_feasible(self, spec: ColocationSpec, qos: float) -> bool:
+        """True iff every game in the colocation is predicted to meet QoS."""
+        return bool(np.all(self.predict_feasible(spec, qos)))
+
+    # ------------------------------------------------------------------
+    # RM-as-classifier (the paper's GAugur(RM) classification variant)
+
+    def predict_feasible_rm(self, spec: ColocationSpec, qos: float) -> np.ndarray:
+        """QoS verdict per entry by thresholding the RM's predicted FPS."""
+        return self.predict_fps(spec) >= qos
+
+    def colocation_feasible_rm(self, spec: ColocationSpec, qos: float) -> bool:
+        """True iff the RM predicts every game's FPS meets ``qos``."""
+        return bool(np.all(self.predict_feasible_rm(spec, qos)))
+
+    # ------------------------------------------------------------------
+    # Deployment bundle: profiles + trained models in one artifact.
+
+    def save(self, path) -> None:
+        """Write the predictor (profile DB + fitted models) as one JSON file."""
+        from repro.utils.serialization import dump_json
+
+        bundle = {
+            "db": self.db.to_dict(),
+            "classifier": self.classifier.to_dict() if self.classifier else None,
+            "regressor": self.regressor.to_dict() if self.regressor else None,
+        }
+        dump_json(bundle, path)
+
+    @classmethod
+    def load(cls, path) -> "InterferencePredictor":
+        """Load a predictor bundle written by :meth:`save`."""
+        from repro.core.classification import GAugurClassifier
+        from repro.core.regression import GAugurRegressor
+        from repro.profiling.database import ProfileDatabase
+        from repro.utils.serialization import load_json
+
+        bundle = load_json(path)
+        return cls(
+            ProfileDatabase.from_dict(bundle["db"]),
+            classifier=(
+                GAugurClassifier.from_dict(bundle["classifier"])
+                if bundle.get("classifier")
+                else None
+            ),
+            regressor=(
+                GAugurRegressor.from_dict(bundle["regressor"])
+                if bundle.get("regressor")
+                else None
+            ),
+        )

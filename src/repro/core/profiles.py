@@ -1,0 +1,269 @@
+"""Profiled contention features of a game.
+
+A :class:`GameProfile` is everything GAugur knows about a game after the
+offline profiling step (Section 3.2): per-resource sensitivity curves at a
+reference resolution, per-resource intensity and solo frame rate at two
+profiled resolutions, plus the solo demand vector used by the VBP baseline.
+Resolution extrapolation implements Observations 6-8 and Eq. 2:
+
+* sensitivity curves apply at any resolution unchanged (Obs 6);
+* CPU-side intensity is resolution-independent — profiled values are
+  averaged (Obs 7);
+* GPU-side intensity and solo FPS vary with pixel count — interpolated
+  piecewise-linearly through the profiled points (Obs 8 / Eq. 2).
+
+The paper fits a single line through two profiled resolutions (Eq. 2);
+with exactly two profiled points our piecewise-linear interpolation *is*
+that line.  We default to three profiled resolutions bracketing the preset
+range because the simulated ground-truth FPS-vs-pixels law, ``1/(a + b*N)``,
+is mildly convex — a two-point line extrapolated beyond its endpoints can
+go badly wrong for GPU-bound games, and a real deployment would bracket
+its supported resolutions anyway (cost is still O(1) per game).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.games.resolution import Resolution
+from repro.hardware.resources import (
+    CPU_RESOURCES,
+    NUM_RESOURCES,
+    Resource,
+    ResourceVector,
+)
+
+__all__ = ["SensitivityCurve", "GameProfile"]
+
+
+@dataclass(frozen=True)
+class SensitivityCurve:
+    """Measured degradation curve of one game for one resource (Eq. 1).
+
+    ``degradations[i]`` is the FPS ratio (colocated / solo) observed at
+    benchmark pressure ``pressures[i]``.  1.0 means unaffected; the paper
+    calls ``1 - ratio`` the degradation *suffered*.
+    """
+
+    resource: Resource
+    pressures: tuple[float, ...]
+    degradations: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.pressures) != len(self.degradations):
+            raise ValueError("pressures and degradations must align")
+        if len(self.pressures) < 2:
+            raise ValueError("a sensitivity curve needs at least 2 samples")
+        if list(self.pressures) != sorted(self.pressures):
+            raise ValueError("pressures must be sorted ascending")
+        if any(d < 0 for d in self.degradations):
+            raise ValueError("degradation ratios must be >= 0")
+
+    def value_at(self, pressure: float) -> float:
+        """Linear interpolation of the retained-FPS ratio at ``pressure``."""
+        return float(
+            np.interp(pressure, self.pressures, self.degradations)
+        )
+
+    @property
+    def max_suffering(self) -> float:
+        """Worst-case degradation suffered: ``1 - min ratio`` (SMiTe's score)."""
+        return 1.0 - min(self.degradations)
+
+    @property
+    def at_full_pressure(self) -> float:
+        """Retained ratio at the maximum pressure sample."""
+        return self.degradations[-1]
+
+    def to_dict(self) -> dict:
+        """Serialize to plain types."""
+        return {
+            "resource": self.resource.label,
+            "pressures": list(self.pressures),
+            "degradations": list(self.degradations),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SensitivityCurve":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            resource=Resource.from_label(data["resource"]),
+            pressures=tuple(float(v) for v in data["pressures"]),
+            degradations=tuple(float(v) for v in data["degradations"]),
+        )
+
+
+def _interp_profiled(x: Sequence[float], y: Sequence[float], at: float) -> float:
+    """Piecewise-linear interpolation through profiled points.
+
+    Queries beyond the profiled pixel range are clamped to the nearest
+    endpoint (safer than extrapolating the paper's linear law outside its
+    fitted range); with two points this reduces to Eq. 2 within the range.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size < 2:
+        raise ValueError("interpolation requires >= 2 profiled points")
+    order = np.argsort(x)
+    return float(np.interp(at, x[order], y[order]))
+
+
+@dataclass(frozen=True)
+class GameProfile:
+    """Offline-profiled contention features of one game.
+
+    Attributes
+    ----------
+    name:
+        Game name.
+    sensitivity:
+        Per-resource sensitivity curves, profiled at one resolution
+        (sufficient by Observation 6).
+    solo_fps:
+        Measured solo frame rate at each profiled resolution (>= 2).
+    intensity:
+        Measured intensity vector at each profiled resolution.
+    demand:
+        Solo-run utilization vector at each profiled resolution (what VBP
+        uses as the resource-demand vector).
+    cpu_mem_gb, gpu_mem_gb:
+        Observed memory consumption (at the largest profiled resolution).
+    """
+
+    name: str
+    sensitivity: Mapping[Resource, SensitivityCurve]
+    solo_fps: Mapping[Resolution, float]
+    intensity: Mapping[Resolution, ResourceVector]
+    demand: Mapping[Resolution, ResourceVector]
+    cpu_mem_gb: float
+    gpu_mem_gb: float
+
+    def __post_init__(self) -> None:
+        missing = [r.label for r in Resource if r not in self.sensitivity]
+        if missing:
+            raise ValueError(f"{self.name}: sensitivity curves missing for {missing}")
+        if len(self.solo_fps) < 2:
+            raise ValueError(
+                f"{self.name}: need >= 2 profiled resolutions for Eq. 2, "
+                f"got {len(self.solo_fps)}"
+            )
+        if set(self.solo_fps) != set(self.intensity) or set(self.solo_fps) != set(
+            self.demand
+        ):
+            raise ValueError(f"{self.name}: profiled resolution sets must match")
+
+    # ------------------------------------------------------------------
+    # Resolution extrapolation (Observations 6-8, Eq. 2)
+
+    @property
+    def profiled_resolutions(self) -> list[Resolution]:
+        """Profiled resolutions sorted by pixel count."""
+        return sorted(self.solo_fps, key=lambda r: r.pixels)
+
+    def solo_fps_at(self, resolution: Resolution) -> float:
+        """Solo FPS at any resolution via the pixel law (Eq. 2)."""
+        resolutions = self.profiled_resolutions
+        return max(
+            1.0,
+            _interp_profiled(
+                [r.megapixels for r in resolutions],
+                [self.solo_fps[r] for r in resolutions],
+                resolution.megapixels,
+            ),
+        )
+
+    def intensity_at(self, resolution: Resolution) -> ResourceVector:
+        """Intensity at any resolution (Obs 7 for CPU side, Obs 8 for GPU)."""
+        resolutions = self.profiled_resolutions
+        mpix = [r.megapixels for r in resolutions]
+        values = np.zeros(NUM_RESOURCES, dtype=float)
+        for res in Resource:
+            samples = [self.intensity[r][res] for r in resolutions]
+            if res in CPU_RESOURCES:
+                values[int(res)] = float(np.mean(samples))
+            else:
+                values[int(res)] = max(
+                    0.0, _interp_profiled(mpix, samples, resolution.megapixels)
+                )
+        return ResourceVector(values)
+
+    def demand_at(self, resolution: Resolution) -> ResourceVector:
+        """Solo demand vector at any resolution (same laws as intensity)."""
+        resolutions = self.profiled_resolutions
+        mpix = [r.megapixels for r in resolutions]
+        values = np.zeros(NUM_RESOURCES, dtype=float)
+        for res in Resource:
+            samples = [self.demand[r][res] for r in resolutions]
+            if res in CPU_RESOURCES:
+                values[int(res)] = float(np.mean(samples))
+            else:
+                values[int(res)] = min(
+                    1.0,
+                    max(0.0, _interp_profiled(mpix, samples, resolution.megapixels)),
+                )
+        return ResourceVector(values)
+
+    def sensitivity_vector(self) -> np.ndarray:
+        """All sensitivity curves flattened resource-major (model input)."""
+        parts = [
+            np.asarray(self.sensitivity[res].degradations, dtype=float)
+            for res in Resource
+        ]
+        return np.concatenate(parts)
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialize to plain types."""
+        return {
+            "name": self.name,
+            "sensitivity": {
+                r.label: c.to_dict() for r, c in self.sensitivity.items()
+            },
+            "solo_fps": [
+                {"resolution": r.to_dict(), "fps": fps}
+                for r, fps in self.solo_fps.items()
+            ],
+            "intensity": [
+                {"resolution": r.to_dict(), "values": v.to_dict()}
+                for r, v in self.intensity.items()
+            ],
+            "demand": [
+                {"resolution": r.to_dict(), "values": v.to_dict()}
+                for r, v in self.demand.items()
+            ],
+            "cpu_mem_gb": self.cpu_mem_gb,
+            "gpu_mem_gb": self.gpu_mem_gb,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "GameProfile":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            sensitivity={
+                Resource.from_label(label): SensitivityCurve.from_dict(c)
+                for label, c in data["sensitivity"].items()
+            },
+            solo_fps={
+                Resolution.from_dict(e["resolution"]): float(e["fps"])
+                for e in data["solo_fps"]
+            },
+            intensity={
+                Resolution.from_dict(e["resolution"]): ResourceVector.from_dict(
+                    e["values"]
+                )
+                for e in data["intensity"]
+            },
+            demand={
+                Resolution.from_dict(e["resolution"]): ResourceVector.from_dict(
+                    e["values"]
+                )
+                for e in data["demand"]
+            },
+            cpu_mem_gb=float(data["cpu_mem_gb"]),
+            gpu_mem_gb=float(data["gpu_mem_gb"]),
+        )

@@ -1,0 +1,12 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+:mod:`repro.experiments.lab` builds and caches the shared artifacts
+(catalog, profile database, measured colocations, trained models);
+``figNN_*`` modules each regenerate one figure's data and render it as
+text.  ``python -m repro.experiments.runner`` runs everything and writes
+the results tables.
+"""
+
+from repro.experiments.lab import Lab, LabConfig, get_lab
+
+__all__ = ["Lab", "LabConfig", "get_lab"]

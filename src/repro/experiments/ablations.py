@@ -1,0 +1,252 @@
+"""Ablations of GAugur's design choices.
+
+Four studies, each isolating one decision the paper makes:
+
+1. **Aggregate-intensity transform** (Eq. 5) vs the naive alternatives the
+   paper rejects: summing co-runner intensities (Paragon's assumption,
+   contradicted by Observation 5) and using only the colocation size (the
+   Sigmoid assumption).  Note the expected outcome: per-resource *sums*
+   carry nearly the same information as Eq. 5 for a flexible learner
+   (``sum = |G| * mean`` and both are features), so they score similarly —
+   the paper's real target is SMiTe's *linear additive model*, and the
+   size-only variant shows what discarding per-resource structure costs.
+2. **Feature knockouts**: how much of the RM's accuracy comes from the
+   sensitivity curves vs the intensity block, and from CPU-side vs
+   GPU-side resources.
+3. **Pressure sampling granularity** ``k`` (the paper uses k=10): accuracy
+   of the downstream RM when sensitivity curves carry 3, 6 or 11 samples.
+4. **Measurement noise**: how label/profile noise propagates to RM error —
+   the robustness argument behind "a few hundred colocations suffice".
+
+Studies 3-4 re-profile / re-measure, so they run on a 30-game subset with
+a dedicated colocation campaign.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.core import GAugurRegressor, build_dataset, generate_colocations
+from repro.core.features import aggregate_intensity
+from repro.core.training import MeasuredColocation, SampleSet, measure_colocations
+from repro.experiments.lab import Lab
+from repro.experiments.tables import format_table
+from repro.hardware.resources import CPU_RESOURCES, GPU_RESOURCES, Resource
+from repro.profiling import ContentionProfiler, ProfilerConfig
+from repro.simulator.measurement import MeasurementConfig
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "run_aggregate_transform",
+    "run_feature_knockout",
+    "run_granularity",
+    "run_noise",
+    "run",
+    "render",
+]
+
+# ----------------------------------------------------------------------
+# Generic plumbing: rebuild RM features with a custom builder.
+
+FeatureBuilder = Callable[[np.ndarray, list[np.ndarray]], np.ndarray]
+
+
+def _build_rm_samples(
+    measured: Sequence[MeasuredColocation], db, builder: FeatureBuilder
+) -> SampleSet:
+    rows, y, cids, sizes, games = [], [], [], [], []
+    for cid, m in enumerate(measured):
+        if m.spec.size < 2:
+            continue
+        profiles = [db.get(name) for name, _ in m.spec.entries]
+        intensities = [
+            profiles[i].intensity_at(res).values
+            for i, (_, res) in enumerate(m.spec.entries)
+        ]
+        solos = [
+            profiles[i].solo_fps_at(res) for i, (_, res) in enumerate(m.spec.entries)
+        ]
+        for i in range(m.spec.size):
+            co = [intensities[j] for j in range(m.spec.size) if j != i]
+            rows.append(builder(profiles[i].sensitivity_vector(), co))
+            y.append(m.fps[i] / solos[i])
+            cids.append(cid)
+            sizes.append(m.spec.size)
+            games.append(m.spec.entries[i][0])
+    return SampleSet(
+        X=np.vstack(rows),
+        y=np.asarray(y),
+        colocation_ids=np.asarray(cids, dtype=int),
+        sizes=np.asarray(sizes, dtype=int),
+        games=games,
+    )
+
+
+def _rm_error_for_builder(lab: Lab, builder: FeatureBuilder) -> float:
+    samples = _build_rm_samples(lab.measured, lab.db, builder)
+    train, test = samples.split_by_colocation(lab.train_colocation_ids)
+    model = GAugurRegressor().fit(train)
+    pred = model.predict_from_features(test.X)
+    return float(np.mean(np.abs(pred - test.y) / test.y))
+
+
+# ----------------------------------------------------------------------
+# Study 1: the Eq. 5 transform vs naive aggregations.
+
+
+def run_aggregate_transform(lab: Lab) -> dict:
+    """RM error with Eq. 5 vs summed intensities vs size-only features."""
+    builders: dict[str, FeatureBuilder] = {
+        "Eq.5 (mean/var per resource)": lambda s, co: np.concatenate(
+            [s, aggregate_intensity(co)]
+        ),
+        "summed intensities": lambda s, co: np.concatenate(
+            [s, np.sum(np.vstack(co), axis=0)]
+        ),
+        "colocation size only": lambda s, co: np.concatenate([s, [float(len(co))]]),
+    }
+    return {label: _rm_error_for_builder(lab, b) for label, b in builders.items()}
+
+
+# ----------------------------------------------------------------------
+# Study 2: feature knockouts.
+
+_SAMPLES_PER_CURVE = 11
+
+
+def _curve_slice(resources) -> np.ndarray:
+    idx = []
+    for res in resources:
+        start = int(res) * _SAMPLES_PER_CURVE
+        idx.extend(range(start, start + _SAMPLES_PER_CURVE))
+    return np.asarray(idx, dtype=int)
+
+
+def _agg_slice(resources, co: list[np.ndarray]) -> np.ndarray:
+    agg = aggregate_intensity(co)
+    keep = [0]  # |G|
+    for res in resources:
+        keep.append(1 + 2 * int(res))
+        keep.append(2 + 2 * int(res))
+    return agg[np.asarray(keep, dtype=int)]
+
+
+def run_feature_knockout(lab: Lab) -> dict:
+    """RM error with groups of features removed."""
+    all_res = list(Resource)
+    builders: dict[str, FeatureBuilder] = {
+        "full": lambda s, co: np.concatenate([s, aggregate_intensity(co)]),
+        "no sensitivity curves": lambda s, co: aggregate_intensity(co),
+        "no co-runner intensity": lambda s, co: np.concatenate(
+            [s, [float(len(co))]]
+        ),
+        "CPU-side resources only": lambda s, co: np.concatenate(
+            [s[_curve_slice(CPU_RESOURCES)], _agg_slice(CPU_RESOURCES, co)]
+        ),
+        "GPU-side resources only": lambda s, co: np.concatenate(
+            [s[_curve_slice(GPU_RESOURCES)], _agg_slice(GPU_RESOURCES, co)]
+        ),
+    }
+    return {label: _rm_error_for_builder(lab, b) for label, b in builders.items()}
+
+
+# ----------------------------------------------------------------------
+# Studies 3-4: re-profiled / re-measured subset campaigns.
+
+
+def _subset_campaign(lab: Lab, n_games: int = 30):
+    names = lab.names[:n_games]
+    specs = [lab.catalog.get(n) for n in names]
+    colocations = generate_colocations(
+        names,
+        sizes={2: 160, 3: 50, 4: 50},
+        seed=lab.config.seed + 17,
+    )
+    rng = spawn_rng(lab.config.seed, "ablation-split")
+    perm = rng.permutation(len(colocations))
+    train_ids = perm[: int(0.6 * len(colocations))]
+    return names, specs, colocations, train_ids
+
+
+def run_granularity(lab: Lab, levels: Sequence[int] = (2, 5, 10)) -> dict:
+    """RM error vs sensitivity-curve sampling granularity k."""
+    _, specs, colocations, train_ids = _subset_campaign(lab)
+    measured = measure_colocations(lab.catalog, colocations, server=lab.server)
+    out = {}
+    for k in levels:
+        config = ProfilerConfig(pressure_levels=k)
+        db = ContentionProfiler(server=lab.server, config=config).profile_catalog(specs)
+        dataset = build_dataset(measured, db, qos_values=(60.0,))
+        train, test = dataset.rm.split_by_colocation(train_ids)
+        model = GAugurRegressor().fit(train)
+        pred = model.predict_from_features(test.X)
+        out[int(k)] = float(np.mean(np.abs(pred - test.y) / test.y))
+    return out
+
+
+def run_noise(lab: Lab, sigmas: Sequence[float] = (0.0, 0.02, 0.05, 0.10)) -> dict:
+    """RM error vs measurement noise level (profiling and labels alike)."""
+    _, specs, colocations, train_ids = _subset_campaign(lab)
+    out = {}
+    for sigma in sigmas:
+        mcfg = MeasurementConfig(noise_sigma=float(sigma))
+        config = ProfilerConfig(measurement=mcfg)
+        db = ContentionProfiler(server=lab.server, config=config).profile_catalog(specs)
+        measured = measure_colocations(
+            lab.catalog, colocations, server=lab.server, config=mcfg
+        )
+        dataset = build_dataset(measured, db, qos_values=(60.0,))
+        train, test = dataset.rm.split_by_colocation(train_ids)
+        model = GAugurRegressor().fit(train)
+        pred = model.predict_from_features(test.X)
+        out[float(sigma)] = float(np.mean(np.abs(pred - test.y) / test.y))
+    return out
+
+
+# ----------------------------------------------------------------------
+
+
+def run(lab: Lab) -> dict:
+    """All four ablation studies."""
+    return {
+        "aggregate_transform": run_aggregate_transform(lab),
+        "feature_knockout": run_feature_knockout(lab),
+        "granularity": run_granularity(lab),
+        "noise": run_noise(lab),
+    }
+
+
+def render(result: dict) -> str:
+    """All ablations as tables."""
+    blocks = []
+    blocks.append(
+        format_table(
+            ["co-runner aggregation", "RM error"],
+            list(result["aggregate_transform"].items()),
+            title="Ablation 1 — Eq. 5 transform vs naive aggregation",
+        )
+    )
+    blocks.append(
+        format_table(
+            ["feature set", "RM error"],
+            list(result["feature_knockout"].items()),
+            title="Ablation 2 — feature knockouts",
+        )
+    )
+    blocks.append(
+        format_table(
+            ["pressure levels k", "RM error"],
+            list(result["granularity"].items()),
+            title="Ablation 3 — sensitivity sampling granularity (30-game subset)",
+        )
+    )
+    blocks.append(
+        format_table(
+            ["measurement noise sigma", "RM error"],
+            list(result["noise"].items()),
+            title="Ablation 4 — measurement-noise robustness (30-game subset)",
+        )
+    )
+    return "\n\n".join(blocks)

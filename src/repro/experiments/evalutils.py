@@ -1,0 +1,85 @@
+"""Shared evaluation plumbing for the accuracy figures (7 and 8).
+
+Both GAugur and the baselines are scored per *sample* — one sample per
+member game of each held-out test colocation — so their error arrays align
+and can be broken down by colocation size identically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.training import MeasuredColocation
+from repro.experiments.lab import Lab
+
+__all__ = ["PerSamplePredictions", "baseline_sample_predictions", "breakdown_by_size"]
+
+
+@dataclass
+class PerSamplePredictions:
+    """Aligned per-sample arrays over the test colocations."""
+
+    predicted_degradation: np.ndarray
+    actual_degradation: np.ndarray
+    sizes: np.ndarray
+    solo_fps: np.ndarray
+    actual_fps: np.ndarray
+
+    @property
+    def relative_errors(self) -> np.ndarray:
+        """The paper's |pred - actual| / actual per sample."""
+        return (
+            np.abs(self.predicted_degradation - self.actual_degradation)
+            / self.actual_degradation
+        )
+
+    def qos_labels(self, qos: float) -> tuple[np.ndarray, np.ndarray]:
+        """(actual, predicted) 0/1 QoS outcomes at a floor."""
+        actual = (self.actual_fps >= qos).astype(int)
+        predicted = (self.predicted_degradation * self.solo_fps >= qos).astype(int)
+        return actual, predicted
+
+
+def baseline_sample_predictions(
+    lab: Lab,
+    predictor,
+    measured: Sequence[MeasuredColocation] | None = None,
+) -> PerSamplePredictions:
+    """Score a degradation predictor per member game of each colocation.
+
+    ``predictor`` must expose ``predict_degradations(ColocationSpec)``.
+    """
+    measured = measured if measured is not None else lab.measured_test
+    pred, actual, sizes, solo_list, fps_list = [], [], [], [], []
+    for m in measured:
+        if m.spec.size < 2:
+            continue
+        degr = predictor.predict_degradations(m.spec)
+        for i, (name, resolution) in enumerate(m.spec.entries):
+            solo = lab.db.get(name).solo_fps_at(resolution)
+            pred.append(float(degr[i]))
+            actual.append(m.fps[i] / solo)
+            sizes.append(m.spec.size)
+            solo_list.append(solo)
+            fps_list.append(m.fps[i])
+    return PerSamplePredictions(
+        predicted_degradation=np.asarray(pred),
+        actual_degradation=np.asarray(actual),
+        sizes=np.asarray(sizes, dtype=int),
+        solo_fps=np.asarray(solo_list),
+        actual_fps=np.asarray(fps_list),
+    )
+
+
+def breakdown_by_size(
+    values: np.ndarray, sizes: np.ndarray, *, reducer=np.mean
+) -> dict[str, float]:
+    """{'overall': ..., '2': ..., '3': ..., '4': ...} reduction of ``values``."""
+    out = {"overall": float(reducer(values))}
+    for size in sorted(np.unique(sizes)):
+        mask = sizes == size
+        out[str(int(size))] = float(reducer(values[mask]))
+    return out

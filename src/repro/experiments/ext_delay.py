@@ -1,0 +1,64 @@
+"""Extension: processing-delay prediction (paper Section 7).
+
+Trains a delay model with the same features and pipeline as the RM and
+reports its accuracy — demonstrating the paper's claim that interaction
+(processing) delay "can be predicted in a similar way".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.delay import (
+    GAugurDelayRegressor,
+    build_delay_dataset,
+    measure_delay_colocations,
+)
+from repro.experiments.lab import Lab
+from repro.experiments.tables import format_table
+
+__all__ = ["run", "render"]
+
+
+def run(lab: Lab) -> dict:
+    """Measure delays for the campaign, train and evaluate the delay model."""
+    measured = measure_delay_colocations(
+        lab.catalog, lab.colocations, server=lab.server
+    )
+    samples = build_delay_dataset(measured, lab.db)
+    train, test = samples.split_by_colocation(lab.train_colocation_ids)
+
+    model = GAugurDelayRegressor().fit(train)
+    pred = model.predict_from_features(test.X)
+    errors = np.abs(pred - test.y) / test.y
+
+    by_size = {}
+    for size in sorted(np.unique(test.sizes)):
+        mask = test.sizes == size
+        by_size[int(size)] = float(np.mean(errors[mask]))
+
+    return {
+        "n_samples": len(samples),
+        "overall_error": float(np.mean(errors)),
+        "by_size": by_size,
+        "delay_ratio_range": (float(samples.y.min()), float(samples.y.max())),
+        "p90_error": float(np.quantile(errors, 0.9)),
+    }
+
+
+def render(result: dict) -> str:
+    """Delay-model accuracy table."""
+    rows = [["overall", result["overall_error"]]]
+    rows += [[f"{k}-games", v] for k, v in result["by_size"].items()]
+    rows.append(["p90", result["p90_error"]])
+    lo, hi = result["delay_ratio_range"]
+    table = format_table(
+        ["group", "relative error"],
+        rows,
+        title="Extension — processing-delay prediction error",
+    )
+    return (
+        f"{table}\n"
+        f"delay inflation ratios span {lo:.2f} .. {hi:.2f} "
+        f"({result['n_samples']} samples)"
+    )

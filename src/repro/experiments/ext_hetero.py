@@ -1,0 +1,86 @@
+"""Extension: heterogeneous server types (paper Section 8, future work 1).
+
+The paper profiles and evaluates on a single server type and leaves other
+types to future work.  This experiment quantifies what happens when the
+models trained from reference-server measurements are applied to other
+hardware:
+
+* **transfer error** — reference-trained RM predicting colocations running
+  on a midrange / high-end server (profiles and labels both shift);
+* **retrained error** — the same pipeline re-run natively on that server,
+  showing the O(N) per-server-type cost buys back the accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import GAugurRegressor, build_dataset, generate_colocations
+from repro.core.training import measure_colocations
+from repro.experiments.lab import Lab
+from repro.experiments.tables import format_table
+from repro.hardware.server import server_catalog
+from repro.profiling import ContentionProfiler, ProfilerConfig
+from repro.utils.rng import spawn_rng
+
+__all__ = ["run", "render"]
+
+
+def _rm_error(model: GAugurRegressor, samples) -> float:
+    pred = model.predict_from_features(samples.X)
+    return float(np.mean(np.abs(pred - samples.y) / samples.y))
+
+
+def run(lab: Lab, *, n_games: int = 20, n_colocations: int = 150) -> dict:
+    """Evaluate RM transfer vs native retraining across server types."""
+    names = lab.names[:n_games]
+    specs = [lab.catalog.get(n) for n in names]
+    colocations = generate_colocations(
+        names, sizes={2: n_colocations, 3: n_colocations // 3}, seed=lab.config.seed + 1
+    )
+    rng = spawn_rng(lab.config.seed, "hetero-split")
+    perm = rng.permutation(len(colocations))
+    train_ids = perm[: int(0.6 * len(colocations))]
+
+    results = {}
+    reference_model = None
+    for server_name, server in server_catalog().items():
+        profiler = ContentionProfiler(server=server, config=ProfilerConfig())
+        db = profiler.profile_catalog(specs)
+        measured = measure_colocations(lab.catalog, colocations, server=server)
+        dataset = build_dataset(measured, db, qos_values=(60.0,))
+        train, test = dataset.rm.split_by_colocation(train_ids)
+
+        native = GAugurRegressor().fit(train)
+        native_error = _rm_error(native, test)
+        entry = {"native_error": native_error, "mean_degradation": float(test.y.mean())}
+
+        if server_name == lab.server.name:
+            reference_model = native
+        else:
+            # Transfer: reference-trained model, foreign-server features/labels.
+            entry["transfer_error"] = (
+                _rm_error(reference_model, test) if reference_model else float("nan")
+            )
+        results[server_name] = entry
+
+    return {"servers": results, "n_colocations": len(colocations)}
+
+
+def render(result: dict) -> str:
+    """Transfer vs native accuracy table."""
+    rows = []
+    for server_name, entry in result["servers"].items():
+        rows.append(
+            [
+                server_name,
+                entry["mean_degradation"],
+                entry["native_error"],
+                entry.get("transfer_error", float("nan")),
+            ]
+        )
+    return format_table(
+        ["server type", "mean degradation", "native RM error", "transfer RM error"],
+        rows,
+        title="Extension — heterogeneous server types (RM accuracy)",
+    )

@@ -1,0 +1,82 @@
+"""Extension: which shared resources drive interference predictions?
+
+Permutation importance of the RM's inputs, grouped per shared resource
+(a resource's sensitivity-curve samples + its aggregate intensity mean and
+variance).  The paper motivates GAugur by arguing that contention on *all
+seven* resources matters; this experiment quantifies each resource's
+contribution to the trained predictor, plus the split between the
+sensitivity block and the co-runner intensity block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.lab import Lab
+from repro.experiments.tables import format_table
+from repro.hardware.resources import NUM_RESOURCES, Resource
+from repro.ml.inspection import permutation_importance
+from repro.utils.rng import spawn_rng
+
+__all__ = ["run", "render"]
+
+_SAMPLES_PER_CURVE = 11
+
+
+def _group_indices() -> dict[str, np.ndarray]:
+    groups: dict[str, np.ndarray] = {}
+    sens_len = NUM_RESOURCES * _SAMPLES_PER_CURVE
+    for res in Resource:
+        idx = list(
+            range(int(res) * _SAMPLES_PER_CURVE, (int(res) + 1) * _SAMPLES_PER_CURVE)
+        )
+        idx.append(sens_len + 1 + 2 * int(res))  # intensity mean
+        idx.append(sens_len + 2 + 2 * int(res))  # intensity var
+        groups[res.label] = np.asarray(idx, dtype=int)
+    groups["n_corunners"] = np.asarray([sens_len], dtype=int)
+    return groups
+
+
+def run(lab: Lab) -> dict:
+    """Permutation importance of the trained RM on held-out samples."""
+    _, _, _, rm_te = lab.split(60.0)
+    model = lab.rm_model
+    rng = spawn_rng(lab.config.seed, "importance")
+
+    def loss(y_true, y_pred) -> float:
+        return float(np.mean(np.abs(y_pred - y_true) / y_true))
+
+    per_feature = permutation_importance(
+        model.predict_from_features, rm_te.X, rm_te.y, metric=loss, n_repeats=3, rng=rng
+    )
+
+    grouped = {
+        label: float(np.sum(per_feature[idx]))
+        for label, idx in _group_indices().items()
+    }
+    sens_len = NUM_RESOURCES * _SAMPLES_PER_CURVE
+    blocks = {
+        "sensitivity curves": float(np.sum(per_feature[:sens_len])),
+        "aggregate intensity": float(np.sum(per_feature[sens_len:])),
+    }
+    return {"per_resource": grouped, "per_block": blocks}
+
+
+def render(result: dict) -> str:
+    """Importance tables (per resource and per feature block)."""
+    resource_rows = sorted(
+        result["per_resource"].items(), key=lambda kv: -kv[1]
+    )
+    part_a = format_table(
+        ["feature group", "importance (added error when permuted)"],
+        resource_rows,
+        title="Extension — RM permutation importance per shared resource",
+        float_fmt="{:.4f}",
+    )
+    part_b = format_table(
+        ["feature block", "importance"],
+        list(result["per_block"].items()),
+        title="Sensitivity vs intensity blocks",
+        float_fmt="{:.4f}",
+    )
+    return f"{part_a}\n\n{part_b}"

@@ -1,0 +1,55 @@
+"""Figure 1: frame rates of colocated game pairs.
+
+The paper motivates colocation with six pairs of four games (Ancestors
+Legacy, Borderland, H1Z1, ARK Survival Evolved): some pairs keep both games
+above 60 FPS, others do not, and the same game's frame rate varies widely
+with its partner.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.experiments.lab import Lab
+from repro.experiments.tables import format_table
+from repro.simulator import GameInstance, measure_solo_fps, run_colocation
+
+__all__ = ["PAIR_GAMES", "run", "render"]
+
+PAIR_GAMES = ("Ancestors Legacy", "Borderland", "H1Z1", "ARK Survival Evolved")
+
+
+def run(lab: Lab) -> dict:
+    """Measure all six pairs of the four motivating games."""
+    solo = {}
+    for name in PAIR_GAMES:
+        instance = GameInstance(lab.catalog.get(name))
+        solo[name] = measure_solo_fps(instance, server=lab.server)
+
+    pairs = []
+    for a, b in itertools.combinations(PAIR_GAMES, 2):
+        result = run_colocation(
+            [GameInstance(lab.catalog.get(a)), GameInstance(lab.catalog.get(b))],
+            server=lab.server,
+        )
+        pairs.append(
+            {"games": (a, b), "fps": (result.fps[0], result.fps[1])}
+        )
+    return {"solo": solo, "pairs": pairs}
+
+
+def render(result: dict) -> str:
+    """Text rendering of the Figure 1 bars."""
+    rows = []
+    for entry in result["pairs"]:
+        a, b = entry["games"]
+        fa, fb = entry["fps"]
+        rows.append([f"{a} + {b}", fa, fb])
+    table = format_table(
+        ["pair", "FPS(first)", "FPS(second)"],
+        rows,
+        title="Figure 1 — frame rates of colocated pairs",
+        float_fmt="{:.1f}",
+    )
+    solo = ", ".join(f"{k}={v:.0f}" for k, v in result["solo"].items())
+    return f"{table}\nsolo: {solo}"

@@ -1,0 +1,57 @@
+"""Figure 2: solo resource demand and frame rate of the 100 games.
+
+(a) CPU/GPU demand scatter (bubble size = memory demand), each normalized
+to the maximum across games; (b) solo frame rates, showing the headroom
+above a 60 FPS QoS floor that dedicated-server provisioning wastes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.lab import Lab
+from repro.experiments.tables import format_table
+from repro.games.resolution import REFERENCE_RESOLUTION
+from repro.hardware.resources import Resource
+
+__all__ = ["run", "render"]
+
+
+def run(lab: Lab) -> dict:
+    """Collect per-game demand vectors and solo FPS from the profiles."""
+    db = lab.db
+    names = lab.names
+    cpu, gpu, mem, fps = [], [], [], []
+    for name in names:
+        profile = db.get(name)
+        demand = profile.demand_at(REFERENCE_RESOLUTION)
+        cpu.append(demand[Resource.CPU_CE])
+        gpu.append(demand[Resource.GPU_CE])
+        mem.append(profile.cpu_mem_gb + profile.gpu_mem_gb)
+        fps.append(profile.solo_fps_at(REFERENCE_RESOLUTION))
+    cpu, gpu, mem, fps = map(np.asarray, (cpu, gpu, mem, fps))
+    return {
+        "names": names,
+        "cpu_demand": cpu / cpu.max(),
+        "gpu_demand": gpu / gpu.max(),
+        "memory_demand": mem / mem.max(),
+        "solo_fps": fps,
+    }
+
+
+def render(result: dict) -> str:
+    """Summary statistics of the Figure 2 scatter/series."""
+    fps = np.asarray(result["solo_fps"])
+    rows = [
+        ["CPU demand (normalized)", result["cpu_demand"].min(), np.median(result["cpu_demand"]), result["cpu_demand"].max()],
+        ["GPU demand (normalized)", result["gpu_demand"].min(), np.median(result["gpu_demand"]), result["gpu_demand"].max()],
+        ["memory demand (normalized)", result["memory_demand"].min(), np.median(result["memory_demand"]), result["memory_demand"].max()],
+        ["solo FPS", fps.min(), np.median(fps), fps.max()],
+    ]
+    table = format_table(
+        ["quantity", "min", "median", "max"],
+        rows,
+        title="Figure 2 — solo demand and frame rate across the catalog",
+    )
+    above = float(np.mean(fps >= 60.0))
+    return f"{table}\ngames at/above 60 FPS solo: {above:.0%}"

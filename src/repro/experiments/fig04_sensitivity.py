@@ -1,0 +1,67 @@
+"""Figure 4: sensitivity curves of six representative games.
+
+Plots (as data series) the degradation each representative game suffers at
+k=10 pressure levels on each of the seven shared resources, reproducing
+Observations 1, 3 and 4: multi-resource sensitivity, per-game diversity,
+and nonlinearity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.lab import Lab
+from repro.experiments.tables import format_series
+from repro.games.catalog import REPRESENTATIVE_GAMES
+from repro.hardware.resources import Resource
+
+__all__ = ["run", "render"]
+
+
+def run(lab: Lab) -> dict:
+    """Pull the profiled curves of the representative games."""
+    games = [n for n in REPRESENTATIVE_GAMES if n in set(lab.names)]
+    curves: dict[str, dict[str, dict]] = {}
+    for name in games:
+        profile = lab.db.get(name)
+        curves[name] = {
+            res.label: {
+                "pressures": list(profile.sensitivity[res].pressures),
+                "degradations": list(profile.sensitivity[res].degradations),
+            }
+            for res in Resource
+        }
+    return {"games": games, "curves": curves}
+
+
+def render(result: dict) -> str:
+    """One series table per representative game."""
+    blocks = []
+    for name in result["games"]:
+        per_resource = result["curves"][name]
+        first = next(iter(per_resource.values()))
+        pressures = first["pressures"]
+        series = {
+            label: data["degradations"] for label, data in per_resource.items()
+        }
+        blocks.append(
+            format_series(
+                "pressure",
+                [f"{p:.1f}" for p in pressures],
+                series,
+                title=f"Figure 4 — sensitivity curves: {name} (FPS ratio vs pressure)",
+                float_fmt="{:.2f}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def nonlinearity_score(curve: dict) -> float:
+    """Max deviation of a curve from the straight line between its endpoints.
+
+    Used to verify Observation 4 (nonlinear sensitivity) quantitatively.
+    """
+    p = np.asarray(curve["pressures"], dtype=float)
+    d = np.asarray(curve["degradations"], dtype=float)
+    line = d[0] + (d[-1] - d[0]) * (p - p[0]) / (p[-1] - p[0])
+    return float(np.max(np.abs(d - line)))

@@ -1,0 +1,41 @@
+"""Figure 5: intensity of six representative games on each shared resource.
+
+Reproduces Observation 2 (sensitivity and intensity are uncorrelated — e.g.
+Granado Espada is very sensitive to GPU-CE but exerts little GPU-CE
+pressure) and Observation 3 (per-game diversity).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.lab import Lab
+from repro.experiments.tables import format_table
+from repro.games.catalog import REPRESENTATIVE_GAMES
+from repro.games.resolution import REFERENCE_RESOLUTION
+from repro.hardware.resources import Resource
+
+__all__ = ["run", "render"]
+
+
+def run(lab: Lab) -> dict:
+    """Pull the profiled intensities of the representative games."""
+    games = [n for n in REPRESENTATIVE_GAMES if n in set(lab.names)]
+    intensity = {}
+    for name in games:
+        vec = lab.db.get(name).intensity_at(REFERENCE_RESOLUTION)
+        intensity[name] = {res.label: vec[res] for res in Resource}
+    return {"games": games, "intensity": intensity}
+
+
+def render(result: dict) -> str:
+    """Figure 5 bars as a game x resource table."""
+    headers = ["game"] + [res.label for res in Resource]
+    rows = [
+        [name] + [result["intensity"][name][res.label] for res in Resource]
+        for name in result["games"]
+    ]
+    return format_table(
+        headers,
+        rows,
+        title="Figure 5 — intensity of representative games (benchmark slowdown)",
+        float_fmt="{:.2f}",
+    )

@@ -1,0 +1,67 @@
+"""Figure 6: aggregate intensity vs sum of individual intensities.
+
+The paper colocates AirMech Strike and Hobo Tough Life *together* with each
+benchmark and compares the benchmark's slowdown (the holistic aggregate
+intensity of the pair) against the sum of the two games' individually
+profiled intensities — they differ substantially on several resources,
+establishing Observation 5 (intensity is not additive) and invalidating
+Paragon-style additive models for games.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.suite import make_benchmark
+from repro.experiments.lab import Lab
+from repro.experiments.tables import format_table
+from repro.games.resolution import REFERENCE_RESOLUTION
+from repro.hardware.resources import Resource
+from repro.simulator import BenchmarkInstance, GameInstance, run_colocation
+
+__all__ = ["PAIR", "run", "render"]
+
+PAIR = ("AirMech Strike", "Hobo Tough Life")
+
+
+def run(lab: Lab) -> dict:
+    """Measure holistic pair intensity per resource and compare to the sum."""
+    dials = lab.profiler_config.dials
+    instances = [GameInstance(lab.catalog.get(name)) for name in PAIR]
+
+    holistic = {}
+    for res in Resource:
+        slowdowns = []
+        for dial in dials:
+            bench = BenchmarkInstance(make_benchmark(res, float(dial)))
+            result = run_colocation(instances + [bench], server=lab.server)
+            slowdowns.append(result.slowdowns[-1])
+        holistic[res.label] = max(0.0, float(np.mean(slowdowns)) - 1.0)
+
+    summed = {}
+    for res in Resource:
+        total = sum(
+            lab.db.get(name).intensity_at(REFERENCE_RESOLUTION)[res] for name in PAIR
+        )
+        summed[res.label] = float(total)
+
+    return {"pair": PAIR, "sum": summed, "holistic": holistic}
+
+
+def render(result: dict) -> str:
+    """Figure 6 bars as a resource x {sum, holistic} table."""
+    rows = []
+    for res in Resource:
+        s = result["sum"][res.label]
+        h = result["holistic"][res.label]
+        ratio = h / s if s > 0 else float("nan")
+        rows.append([res.label, s, h, ratio])
+    return format_table(
+        ["resource", "sum of intensities", "holistic aggregate", "ratio"],
+        rows,
+        title=(
+            "Figure 6 — aggregate vs summed intensity "
+            f"({result['pair'][0]} + {result['pair'][1]})"
+        ),
+        float_fmt="{:.2f}",
+    )

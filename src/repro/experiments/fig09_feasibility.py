@@ -1,0 +1,140 @@
+"""Figure 9: feasible-colocation identification and server minimization.
+
+Takes 10 randomly selected games, enumerates all 385 colocations of size
+<= 4, measures ground-truth feasibility at the QoS floor, and scores each
+methodology's judgements (9a: confusion counts, 9b: accuracy / precision /
+recall).  9c packs 5000 requests with Algorithm 1 over each methodology's
+correctly identified feasible colocations and compares server counts (the
+no-colocation policy needs one server per request).
+
+Shape criteria: GAugur(CM) has the best accuracy/precision/recall and
+packs with the fewest servers; every colocation-aware policy beats 5000
+dedicated servers by a wide margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import InterferencePredictor
+from repro.experiments.lab import Lab
+from repro.experiments.tables import format_table
+from repro.scheduling import (
+    actual_feasibility,
+    enumerate_colocations,
+    generate_requests,
+    judge_feasibility,
+    pack_requests,
+    score_judgements,
+)
+from repro.utils.rng import spawn_rng
+
+__all__ = ["QOS_LEVELS", "N_REQUESTS", "select_games", "run", "render"]
+
+QOS_LEVELS = (60.0, 50.0)
+N_REQUESTS = 5000
+
+
+def select_games(lab: Lab, n: int = 10) -> list[str]:
+    """Deterministic random selection of the study's games.
+
+    Capped at the lab's population (reduced configurations may have fewer
+    than 10 games).
+    """
+    n = min(n, len(lab.names))
+    rng = spawn_rng(lab.config.seed, "fig9-games")
+    idx = sorted(rng.choice(len(lab.names), size=n, replace=False))
+    return [lab.names[int(i)] for i in idx]
+
+
+def _judges(lab: Lab, qos: float) -> dict:
+    cm_predictor = InterferencePredictor(
+        lab.db, classifier=lab.cm_model_at(qos), regressor=lab.rm_model
+    )
+    return {
+        "GAugur(CM)": cm_predictor.colocation_feasible,
+        "GAugur(RM)": lab.predictor.colocation_feasible_rm,
+        "Sigmoid": lab.sigmoid.colocation_feasible,
+        "SMiTe": lab.smite.colocation_feasible,
+        "VBP": lab.vbp.colocation_feasible,
+    }
+
+
+def run(lab: Lab, *, n_requests: int = N_REQUESTS) -> dict:
+    """Score all methodologies and pack requests at both QoS levels."""
+    games = select_games(lab)
+    colocations = enumerate_colocations(games, max_size=4)
+    requests = generate_requests(games, n_requests, seed=lab.config.seed)
+
+    per_qos: dict[float, dict] = {}
+    for qos in QOS_LEVELS:
+        actual = actual_feasibility(lab.catalog, colocations, qos, server=lab.server)
+        reports, servers_used = {}, {}
+        for label, judge in _judges(lab, qos).items():
+            judged = judge_feasibility(judge, colocations, qos)
+            reports[label] = score_judgements(actual, judged)
+            usable = [
+                spec
+                for spec, a, j in zip(colocations, actual, judged)
+                if a and j
+            ]
+            servers_used[label] = pack_requests(requests, usable).n_servers
+        per_qos[qos] = {
+            "actual_feasible": int(actual.sum()),
+            "reports": reports,
+            "servers_used": servers_used,
+        }
+
+    return {
+        "games": games,
+        "n_colocations": len(colocations),
+        "n_requests": n_requests,
+        "per_qos": per_qos,
+    }
+
+
+def render(result: dict) -> str:
+    """Figures 9a-9c as text tables."""
+    blocks = [
+        f"10 selected games: {', '.join(result['games'])} "
+        f"({result['n_colocations']} colocations judged)"
+    ]
+    for qos, data in result["per_qos"].items():
+        rows_a = [
+            [label, r.tp, r.fp, r.fn, r.tn]
+            for label, r in data["reports"].items()
+        ]
+        blocks.append(
+            format_table(
+                ["methodology", "TP", "FP", "FN", "TN"],
+                rows_a,
+                title=(
+                    f"Figure 9a — judgement confusion at QoS {qos:.0f} FPS "
+                    f"({data['actual_feasible']} actually feasible)"
+                ),
+            )
+        )
+        rows_b = [
+            [label, r.accuracy, r.precision, r.recall]
+            for label, r in data["reports"].items()
+        ]
+        blocks.append(
+            format_table(
+                ["methodology", "accuracy", "precision", "recall"],
+                rows_b,
+                title=f"Figure 9b — judgement quality at QoS {qos:.0f} FPS",
+            )
+        )
+        rows_c = [[label, n] for label, n in data["servers_used"].items()]
+        rows_c.append(["No colocation", result["n_requests"]])
+        blocks.append(
+            format_table(
+                ["methodology", "servers used"],
+                rows_c,
+                title=(
+                    f"Figure 9c — servers to pack {result['n_requests']} requests "
+                    f"at QoS {qos:.0f} FPS"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,91 @@
+"""Figure 10: maximizing overall performance on a fixed fleet.
+
+Assigns 5000 requests (over the same 10 games as Figure 9) to fleets of
+1500-3000 servers: GAugur(RM), Sigmoid and SMiTe place each request on the
+server with the best predicted post-assignment frame rates; VBP places
+worst-fit by remaining demand capacity.  (a) actual average FPS per fleet
+size; (b) the FPS distribution at 2000 servers.
+
+Shape criteria: larger fleets help everyone; GAugur(RM) achieves the
+highest average FPS at every fleet size and its FPS CDF dominates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig09_feasibility import select_games
+from repro.experiments.lab import Lab
+from repro.experiments.tables import format_series, format_table
+from repro.scheduling import (
+    assign_max_fps,
+    assign_worst_fit,
+    evaluate_assignment,
+    generate_requests,
+)
+
+__all__ = ["SERVER_COUNTS", "N_REQUESTS", "run", "render"]
+
+SERVER_COUNTS = (1500, 2000, 2500, 3000)
+N_REQUESTS = 5000
+CDF_FLEET = 2000
+
+
+def run(
+    lab: Lab,
+    *,
+    n_requests: int = N_REQUESTS,
+    server_counts: tuple[int, ...] = SERVER_COUNTS,
+    cdf_fleet: int = CDF_FLEET,
+) -> dict:
+    """Run every policy at every fleet size; measure actual frame rates."""
+    games = select_games(lab)
+    requests = generate_requests(games, n_requests, seed=lab.config.seed)
+
+    policies = {
+        "GAugur(RM)": lambda n: assign_max_fps(requests, lab.predictor, n),
+        "Sigmoid": lambda n: assign_max_fps(requests, lab.sigmoid, n),
+        "SMiTe": lambda n: assign_max_fps(requests, lab.smite, n),
+        "VBP": lambda n: assign_worst_fit(requests, lab.vbp, n),
+    }
+
+    average_fps: dict[str, list[float]] = {label: [] for label in policies}
+    cdf_values: dict[str, np.ndarray] = {}
+    for n_servers in server_counts:
+        for label, policy in policies.items():
+            placement = policy(n_servers)
+            fps = evaluate_assignment(lab.catalog, placement, server=lab.server)
+            average_fps[label].append(float(fps.mean()))
+            if n_servers == cdf_fleet:
+                cdf_values[label] = fps
+
+    return {
+        "games": games,
+        "server_counts": list(server_counts),
+        "average_fps": average_fps,
+        "cdf_fleet": cdf_fleet,
+        "cdf_values": cdf_values,
+    }
+
+
+def render(result: dict) -> str:
+    """Figures 10a-10b as text tables."""
+    part_a = format_series(
+        "servers",
+        result["server_counts"],
+        result["average_fps"],
+        title="Figure 10a — actual average FPS vs fleet size",
+        float_fmt="{:.1f}",
+    )
+    quantiles = (0.05, 0.25, 0.5, 0.75, 0.95)
+    rows = [
+        [label] + [float(np.quantile(v, q)) for q in quantiles]
+        for label, v in result["cdf_values"].items()
+    ]
+    part_b = format_table(
+        ["methodology"] + [f"p{int(q*100)}" for q in quantiles],
+        rows,
+        title=f"Figure 10b — FPS quantiles at {result['cdf_fleet']} servers",
+        float_fmt="{:.1f}",
+    )
+    return "\n\n".join([part_a, part_b])

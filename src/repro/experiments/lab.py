@@ -1,0 +1,310 @@
+"""The shared experimental setup ("lab") behind all figures.
+
+Builds, memoizes (in-process) and caches (on disk, JSON) the expensive
+offline artifacts exactly once per configuration:
+
+* the 100-game catalog,
+* the profiled :class:`ProfileDatabase` (the paper's offline O(N) pass),
+* the 700-colocation measurement campaign (500 pairs + 100 triples +
+  100 quadruples) with its fixed 400/300 train/test split by colocation,
+* trained GAugur models and fitted baselines.
+
+Set ``REPRO_SCALE=small`` for a reduced configuration (quick tests) or
+``REPRO_CACHE_DIR`` to relocate the disk cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from functools import cached_property
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import SigmoidPredictor, SMiTePredictor, VBPJudge
+from repro.core import (
+    GAugurClassifier,
+    GAugurRegressor,
+    InterferencePredictor,
+    MeasuredColocation,
+    TrainingDataset,
+    build_dataset,
+    generate_colocations,
+    measure_colocations,
+)
+from repro.core.training import ColocationSpec, SampleSet
+from repro.games import GameCatalog, Resolution, build_catalog
+from repro.games.catalog import DEFAULT_CATALOG_SEED, REPRESENTATIVE_GAMES
+from repro.hardware.server import DEFAULT_SERVER, ServerSpec
+from repro.profiling import ContentionProfiler, ProfileDatabase, ProfilerConfig
+from repro.utils.rng import spawn_rng
+from repro.utils.serialization import dump_json, load_json
+
+__all__ = ["LabConfig", "Lab", "get_lab"]
+
+
+@dataclass(frozen=True)
+class LabConfig:
+    """Reproducibility-complete description of the experimental setup."""
+
+    seed: int = 7
+    catalog_seed: int = DEFAULT_CATALOG_SEED
+    n_games: int = 100
+    colocation_sizes: tuple[tuple[int, int], ...] = ((2, 500), (3, 100), (4, 100))
+    n_train_colocations: int = 400
+    qos_values: tuple[float, ...] = (50.0, 60.0)
+
+    @classmethod
+    def small(cls) -> "LabConfig":
+        """Reduced setup for fast tests (same pipeline, smaller campaign)."""
+        return cls(
+            n_games=20,
+            colocation_sizes=((2, 100), (3, 30), (4, 30)),
+            n_train_colocations=100,
+        )
+
+    @classmethod
+    def from_env(cls) -> "LabConfig":
+        """Full setup unless ``REPRO_SCALE=small``."""
+        return cls.small() if os.environ.get("REPRO_SCALE") == "small" else cls()
+
+    def sizes_dict(self) -> dict[int, int]:
+        """Colocation-size campaign as a dict."""
+        return dict(self.colocation_sizes)
+
+    def cache_key(self) -> str:
+        """Stable hash identifying the offline artifacts this config builds."""
+        payload = json.dumps(
+            {
+                "seed": self.seed,
+                "catalog_seed": self.catalog_seed,
+                "n_games": self.n_games,
+                "sizes": list(self.colocation_sizes),
+                "n_train": self.n_train_colocations,
+                "version": 2,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def _measured_to_jsonable(measured: list[MeasuredColocation]) -> list:
+    return [
+        {
+            "entries": [
+                {"game": name, "resolution": res.to_dict()}
+                for name, res in m.spec.entries
+            ],
+            "fps": list(m.fps),
+        }
+        for m in measured
+    ]
+
+
+def _measured_from_jsonable(data: list) -> list[MeasuredColocation]:
+    out = []
+    for entry in data:
+        spec = ColocationSpec(
+            tuple(
+                (e["game"], Resolution.from_dict(e["resolution"]))
+                for e in entry["entries"]
+            )
+        )
+        out.append(MeasuredColocation(spec=spec, fps=tuple(entry["fps"])))
+    return out
+
+
+class Lab:
+    """Holds all shared artifacts for one :class:`LabConfig` (lazily built)."""
+
+    def __init__(self, config: LabConfig | None = None, server: ServerSpec = DEFAULT_SERVER):
+        self.config = config if config is not None else LabConfig.from_env()
+        self.server = server
+
+    # ------------------------------------------------------------------
+    # Offline artifacts
+
+    @cached_property
+    def catalog(self) -> GameCatalog:
+        """The synthetic game catalog."""
+        return build_catalog(self.config.catalog_seed)
+
+    @cached_property
+    def names(self) -> list[str]:
+        """The game names in play.
+
+        The games the paper's figures single out (the six representative
+        profiling subjects, the Figure 1 pairs, the Figure 6 additivity
+        pair) are always included; the rest of the catalog fills up to
+        ``n_games`` in catalog order.
+        """
+        special = list(REPRESENTATIVE_GAMES) + [
+            "Ancestors Legacy",
+            "Borderland",
+            "H1Z1",
+            "ARK Survival Evolved",
+            "AirMech Strike",
+            "Hobo Tough Life",
+        ]
+        names = [n for n in special if n in self.catalog]
+        for name in self.catalog.names():
+            if len(names) >= self.config.n_games:
+                break
+            if name not in names:
+                names.append(name)
+        return names[: self.config.n_games]
+
+    @cached_property
+    def profiler_config(self) -> ProfilerConfig:
+        """Profiling procedure parameters."""
+        return ProfilerConfig()
+
+    @cached_property
+    def db(self) -> ProfileDatabase:
+        """The profiled contention-feature database (disk-cached)."""
+        path = _cache_dir() / f"profiles-{self.config.cache_key()}.json"
+        if path.exists():
+            db = ProfileDatabase.load(path)
+            if set(db.names()) >= set(self.names):
+                return db.subset(self.names)
+        profiler = ContentionProfiler(server=self.server, config=self.profiler_config)
+        db = profiler.profile_catalog([self.catalog.get(n) for n in self.names])
+        db.save(path)
+        return db
+
+    @cached_property
+    def colocations(self) -> list[ColocationSpec]:
+        """The measurement campaign's colocation specs."""
+        return generate_colocations(
+            self.names, sizes=self.config.sizes_dict(), seed=self.config.seed
+        )
+
+    @cached_property
+    def measured(self) -> list[MeasuredColocation]:
+        """Measured frame rates of the campaign (disk-cached)."""
+        path = _cache_dir() / f"measured-{self.config.cache_key()}.json"
+        if path.exists():
+            return _measured_from_jsonable(load_json(path))
+        measured = measure_colocations(self.catalog, self.colocations, server=self.server)
+        dump_json(_measured_to_jsonable(measured), path)
+        return measured
+
+    # ------------------------------------------------------------------
+    # Train / test split (by colocation, as in the paper)
+
+    @cached_property
+    def train_colocation_ids(self) -> np.ndarray:
+        """IDs of the randomly selected training colocations."""
+        rng = spawn_rng(self.config.seed, "train-split")
+        perm = rng.permutation(len(self.colocations))
+        return np.sort(perm[: self.config.n_train_colocations])
+
+    @cached_property
+    def measured_train(self) -> list[MeasuredColocation]:
+        """Training-side measurements (for baseline fitting)."""
+        ids = set(int(i) for i in self.train_colocation_ids)
+        return [m for i, m in enumerate(self.measured) if i in ids]
+
+    @cached_property
+    def measured_test(self) -> list[MeasuredColocation]:
+        """Held-out measurements (for evaluating all methodologies)."""
+        ids = set(int(i) for i in self.train_colocation_ids)
+        return [m for i, m in enumerate(self.measured) if i not in ids]
+
+    def dataset(self, qos: float = 60.0) -> TrainingDataset:
+        """CM/RM sample sets labelled at one QoS floor."""
+        key = float(qos)
+        cache = self.__dict__.setdefault("_datasets", {})
+        if key not in cache:
+            cache[key] = build_dataset(self.measured, self.db, qos_values=(key,))
+        return cache[key]
+
+    def split(self, qos: float = 60.0) -> tuple[SampleSet, SampleSet, SampleSet, SampleSet]:
+        """(cm_train, cm_test, rm_train, rm_test) at one QoS floor."""
+        ds = self.dataset(qos)
+        cm_tr, cm_te = ds.cm.split_by_colocation(self.train_colocation_ids)
+        rm_tr, rm_te = ds.rm.split_by_colocation(self.train_colocation_ids)
+        return cm_tr, cm_te, rm_tr, rm_te
+
+    def training_subset(self, samples: SampleSet, n: int, label: str = "") -> SampleSet:
+        """Random ``n``-sample subset of a training set (Figures 7a/8a/8b)."""
+        rng = spawn_rng(self.config.seed, "train-subset", label, n)
+        return samples.subsample(min(n, len(samples)), rng)
+
+    # ------------------------------------------------------------------
+    # Trained models and baselines
+
+    @cached_property
+    def rm_model(self) -> GAugurRegressor:
+        """GAugur(RM): the paper's GBRT trained on the full training pool."""
+        _, _, rm_tr, _ = self.split(60.0)
+        return GAugurRegressor().fit(rm_tr)
+
+    def _augmented_cm_train(self, qos: float) -> SampleSet:
+        """CM training samples labelled at a spread of floors around ``qos``.
+
+        QoS is an *input* of the CM (Eq. 3), so one measured colocation can
+        be labelled at any floor for free (Section 3.5's sample generation).
+        Training with a spread of floors teaches the decision boundary far
+        better than a single floor and costs no extra measurements.
+        """
+        floors = tuple(qos + delta for delta in (-15.0, -7.5, 0.0, 7.5, 15.0))
+        ds = build_dataset(self.measured, self.db, qos_values=floors)
+        train, _ = ds.cm.split_by_colocation(self.train_colocation_ids)
+        return train
+
+    @cached_property
+    def cm_model(self) -> GAugurClassifier:
+        """GAugur(CM) at QoS 60 FPS (QoS-augmented training)."""
+        return GAugurClassifier().fit(self._augmented_cm_train(60.0))
+
+    def cm_model_at(self, qos: float) -> GAugurClassifier:
+        """GAugur(CM) trained for an arbitrary QoS floor."""
+        if qos == 60.0:
+            return self.cm_model
+        cache = self.__dict__.setdefault("_cm_models", {})
+        if qos not in cache:
+            cache[qos] = GAugurClassifier().fit(self._augmented_cm_train(qos))
+        return cache[qos]
+
+    @cached_property
+    def predictor(self) -> InterferencePredictor:
+        """Online predictor bundling the trained CM and RM."""
+        return InterferencePredictor(
+            self.db, classifier=self.cm_model, regressor=self.rm_model
+        )
+
+    @cached_property
+    def sigmoid(self) -> SigmoidPredictor:
+        """Fitted Sigmoid baseline."""
+        return SigmoidPredictor(self.db).fit(self.measured_train)
+
+    @cached_property
+    def smite(self) -> SMiTePredictor:
+        """Fitted SMiTe baseline."""
+        return SMiTePredictor(self.db).fit(self.measured_train)
+
+    @cached_property
+    def vbp(self) -> VBPJudge:
+        """VBP demand-vector judge."""
+        return VBPJudge(self.db, server=self.server)
+
+
+_LABS: dict[tuple, Lab] = {}
+
+
+def get_lab(config: LabConfig | None = None) -> Lab:
+    """Process-wide memoized :class:`Lab` for ``config``."""
+    config = config if config is not None else LabConfig.from_env()
+    key = (config.cache_key(), config.qos_values)
+    if key not in _LABS:
+        _LABS[key] = Lab(config)
+    return _LABS[key]

@@ -1,0 +1,98 @@
+"""Run every figure experiment and print/write the results.
+
+Usage::
+
+    python -m repro.experiments.runner [output.md]
+
+``REPRO_SCALE=small`` runs the reduced configuration; the default is the
+paper-scale setup (100 games, 700 measured colocations, 5000 requests).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    ablations,
+    ext_completion,
+    ext_conservative,
+    ext_delay,
+    ext_dynamic,
+    ext_hetero,
+    ext_importance,
+    fig01_pairs,
+    fig02_catalog,
+    fig04_sensitivity,
+    fig05_intensity,
+    fig06_additivity,
+    fig07_regression,
+    fig08_classification,
+    fig09_feasibility,
+    fig10_scheduling,
+)
+from repro.experiments.lab import get_lab
+
+__all__ = ["EXPERIMENTS", "EXTENSIONS", "run_all", "main"]
+
+EXPERIMENTS = (
+    ("fig01", fig01_pairs),
+    ("fig02", fig02_catalog),
+    ("fig04", fig04_sensitivity),
+    ("fig05", fig05_intensity),
+    ("fig06", fig06_additivity),
+    ("fig07", fig07_regression),
+    ("fig08", fig08_classification),
+    ("fig09", fig09_feasibility),
+    ("fig10", fig10_scheduling),
+)
+
+#: Extension experiments (paper Sections 6-8 items); run with --extensions.
+EXTENSIONS = (
+    ("ext_delay", ext_delay),
+    ("ext_conservative", ext_conservative),
+    ("ext_dynamic", ext_dynamic),
+    ("ext_completion", ext_completion),
+    ("ext_hetero", ext_hetero),
+    ("ext_importance", ext_importance),
+    ("ablations", ablations),
+)
+
+
+def run_all(
+    lab=None, *, echo: bool = True, include_extensions: bool = False
+) -> dict[str, str]:
+    """Run every experiment; returns {figure id: rendered text}."""
+    lab = lab if lab is not None else get_lab()
+    suite = EXPERIMENTS + (EXTENSIONS if include_extensions else ())
+    rendered: dict[str, str] = {}
+    for name, module in suite:
+        start = time.time()
+        result = module.run(lab)
+        text = module.render(result)
+        rendered[name] = text
+        if echo:
+            print(f"\n===== {name} ({time.time() - start:.1f}s) =====")
+            print(text)
+    return rendered
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: ``runner [--extensions] [output.md]``."""
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    include_extensions = "--extensions" in argv
+    argv = [a for a in argv if a != "--extensions"]
+    rendered = run_all(include_extensions=include_extensions)
+    if argv:
+        out = Path(argv[0])
+        body = "\n\n".join(
+            f"## {name}\n\n```\n{text}\n```" for name, text in rendered.items()
+        )
+        out.write_text(f"# GAugur reproduction results\n\n{body}\n")
+        print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Plain-text rendering of experiment results (series and tables).
+
+The harness prints the same rows/series the paper's figures plot; these
+helpers keep every figure module's output consistent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "cdf_points"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float) or isinstance(cell, np.floating):
+            return float_fmt.format(float(cell))
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render named series against a shared x-axis as a table."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [s[i] for s in series.values()])
+    return format_table(headers, rows, title=title, float_fmt=float_fmt)
+
+
+def cdf_points(values, *, n_points: int = 21) -> tuple[np.ndarray, np.ndarray]:
+    """(quantile levels, values) summarizing a distribution's CDF."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cdf_points requires non-empty values")
+    q = np.linspace(0.0, 1.0, n_points)
+    return q, np.quantile(values, q)

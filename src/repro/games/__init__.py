@@ -1,0 +1,40 @@
+"""Synthetic game catalog.
+
+The paper profiles 100 commercial Windows games (its reference [3] lists
+them).  We cannot run those games here, so this package generates a seeded
+synthetic catalog carrying the *hidden ground truth* each game would have on
+the paper's testbed: per-frame CPU/GPU/transfer stage costs, shared-resource
+utilizations, nonlinear per-resource sensitivity shapes, memory demands, and
+resolution scaling laws.  The catalog is constructed to reproduce the paper's
+Observations 1-8 (see DESIGN.md section 5), and nothing outside
+:mod:`repro.simulator` ever reads the hidden fields — the GAugur pipeline
+only sees measured frame rates, exactly as on real hardware.
+"""
+
+from repro.games.catalog import GAME_NAMES, GameCatalog, build_catalog
+from repro.games.curves import CurveShape, SensitivityShape
+from repro.games.game import GameSpec
+from repro.games.genres import Genre, GenreArchetype, genre_archetypes
+from repro.games.resolution import (
+    PRESET_RESOLUTIONS,
+    REFERENCE_RESOLUTION,
+    Resolution,
+)
+from repro.games.validation import ObservationReport, validate_catalog
+
+__all__ = [
+    "CurveShape",
+    "SensitivityShape",
+    "Genre",
+    "GenreArchetype",
+    "genre_archetypes",
+    "GameSpec",
+    "GameCatalog",
+    "build_catalog",
+    "GAME_NAMES",
+    "Resolution",
+    "REFERENCE_RESOLUTION",
+    "PRESET_RESOLUTIONS",
+    "ObservationReport",
+    "validate_catalog",
+]

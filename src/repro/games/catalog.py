@@ -1,0 +1,337 @@
+"""The 100-game synthetic catalog.
+
+Game names and the six representative profiling subjects come from the
+paper (reference [3] and Figures 1/4/5/6).  Each game is assigned a genre
+and its hidden parameters are drawn from the genre archetype using a
+per-game RNG substream, so the catalog is fully deterministic in the seed
+and insensitive to iteration order.
+
+A handful of games carry hand-tuned overrides reproducing the paper's
+anecdotes: *The Elder Scrolls5* suffers ~70% degradation under maximum
+CPU-CE pressure while *Far Cry4* suffers only ~30% (Observation 3);
+*Far Cry4* is sensitive to all seven resources (Observation 1);
+*Granado Espada* is very sensitive to GPU-CE while exerting little GPU-CE
+intensity itself (Observation 2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import replace
+
+import numpy as np
+
+from repro.games.curves import CurveShape, SensitivityShape
+from repro.games.game import GameSpec
+from repro.games.genres import Genre, GenreArchetype, genre_archetypes
+from repro.games.resolution import REFERENCE_RESOLUTION
+from repro.hardware.resources import Resource, ResourceKind, ResourceVector
+from repro.utils.rng import spawn_rng
+
+__all__ = ["GAME_NAMES", "GameCatalog", "build_catalog", "DEFAULT_CATALOG_SEED"]
+
+DEFAULT_CATALOG_SEED = 20190622  # HPDC'19 opening day
+
+#: (game name, genre) for the paper's 100 games (reference [3]; names that
+#: appear in figures use the figure spelling).
+GAME_NAMES: tuple[tuple[str, Genre], ...] = (
+    ("A Walk in the Woods", Genre.INDIE),
+    ("After Dreams", Genre.INDIE),
+    ("AirMech Strike", Genre.MOBA_ESPORTS),
+    ("Ancestors Legacy", Genre.STRATEGY),
+    ("ARK Survival Evolved", Genre.AAA_OPEN_WORLD),
+    ("Battlerite", Genre.MOBA_ESPORTS),
+    ("Black Squad", Genre.SHOOTER),
+    ("BlubBlub", Genre.CARD_CASUAL),
+    ("Borderland", Genre.SHOOTER),
+    ("Borderland2", Genre.SHOOTER),
+    ("Call to Arms", Genre.STRATEGY),
+    ("Candle", Genre.INDIE),
+    ("Cities: Skylines", Genre.STRATEGY),
+    ("CoD14", Genre.SHOOTER),
+    ("Cognizer", Genre.INDIE),
+    ("Craft The World", Genre.SIM_SANDBOX),
+    ("Dark Souls III", Genre.RPG),
+    ("Dragon's Dogma", Genre.RPG),
+    ("Delicious 12", Genre.CARD_CASUAL),
+    ("Destined", Genre.INDIE),
+    ("Divinity: Original Sin 2", Genre.RPG),
+    ("DmC: Devil May Cry", Genre.RPG),
+    ("Dota2", Genre.MOBA_ESPORTS),
+    ("Dragon Ball Xenoverse 2", Genre.SPORTS_RACING),
+    ("Empire Earth III", Genre.STRATEGY),
+    ("Endless Fables: The Minotaur's Curse", Genre.CARD_CASUAL),
+    ("Far Cry4", Genre.AAA_OPEN_WORLD),
+    ("FAR: Lone Sails", Genre.INDIE),
+    ("Final Fantasy XII: The Zodiac Age", Genre.RPG),
+    ("Frightened Beetles", Genre.INDIE),
+    ("Gems of War", Genre.CARD_CASUAL),
+    ("Getting Over It with Bennett Foddy", Genre.INDIE),
+    ("Granado Espada", Genre.MMO),
+    ("GUNS UP!", Genre.STRATEGY),
+    ("H1Z1", Genre.SHOOTER),
+    ("Hand of Fate 2", Genre.CARD_CASUAL),
+    ("Heroes and Generals", Genre.SHOOTER),
+    ("Hobo Tough Life", Genre.SIM_SANDBOX),
+    ("Human: Fall Flat", Genre.INDIE),
+    ("Impact Winter", Genre.SIM_SANDBOX),
+    ("Kingdom Come: Deliverance", Genre.AAA_OPEN_WORLD),
+    ("Life is Strange: Before the Storm", Genre.RPG),
+    ("Little Nightmares", Genre.INDIE),
+    ("Little Witch Academia", Genre.RPG),
+    ("LOL", Genre.MOBA_ESPORTS),
+    ("Logout", Genre.INDIE),
+    ("Maries Room", Genre.INDIE),
+    ("Naruto Shippuden: Ultimate Ninja Storm 4", Genre.SPORTS_RACING),
+    ("NBA 2K17", Genre.SPORTS_RACING),
+    ("NBA Playgrounds", Genre.SPORTS_RACING),
+    ("Need for Speed: Hot Pursuit", Genre.SPORTS_RACING),
+    ("NieR: Automata", Genre.RPG),
+    ("Northgard", Genre.STRATEGY),
+    ("Ori and the Blind Forest", Genre.INDIE),
+    ("Oxygen Not Included", Genre.SIM_SANDBOX),
+    ("PES2017", Genre.SPORTS_RACING),
+    ("PlanetSide2", Genre.SHOOTER),
+    ("PES2015", Genre.SPORTS_RACING),
+    ("Project RAT", Genre.INDIE),
+    ("Project CARS", Genre.SPORTS_RACING),
+    ("Radical Heights", Genre.SHOOTER),
+    ("RiME", Genre.INDIE),
+    ("RimWorld", Genre.SIM_SANDBOX),
+    ("Robocraft", Genre.SHOOTER),
+    ("Russian Fishing 4", Genre.SIM_SANDBOX),
+    ("Salt and Sanctuary", Genre.INDIE),
+    ("Shop Heroes", Genre.CARD_CASUAL),
+    ("Slay the Spire", Genre.CARD_CASUAL),
+    ("StarCraft 2", Genre.STRATEGY),
+    ("Stardew Valley", Genre.SIM_SANDBOX),
+    ("Stellaris", Genre.STRATEGY),
+    ("Tactical Monsters Rumble Arena", Genre.CARD_CASUAL),
+    ("Team Fortress 2", Genre.SHOOTER),
+    ("TEKKEN 7", Genre.SPORTS_RACING),
+    ("The Long Dark", Genre.SIM_SANDBOX),
+    ("The Sibling Experiment", Genre.INDIE),
+    ("The Walking Dead: A New Frontier", Genre.RPG),
+    ("The Will of a Single Tale", Genre.INDIE),
+    ("The Witcher 3: Wild Hunt", Genre.AAA_OPEN_WORLD),
+    ("Tiger Knight", Genre.SHOOTER),
+    ("Torchlight II", Genre.RPG),
+    ("The Legend of Heroes: Trails of Cold Steel", Genre.RPG),
+    ("Unturned", Genre.SHOOTER),
+    ("VEGA Conflict", Genre.STRATEGY),
+    ("War Robots", Genre.SHOOTER),
+    ("War Thunder", Genre.MMO),
+    ("Warface", Genre.SHOOTER),
+    ("Warframe", Genre.MMO),
+    ("World of Warships", Genre.MMO),
+    ("WRC 5", Genre.SPORTS_RACING),
+    ("Assassin's Creed Origins", Genre.AAA_OPEN_WORLD),
+    ("Rise of The Tomb Raider", Genre.AAA_OPEN_WORLD),
+    ("Hearth Stone", Genre.CARD_CASUAL),
+    ("Mahou Arms", Genre.INDIE),
+    ("World of Warcraft", Genre.MMO),
+    ("Warcraft", Genre.STRATEGY),
+    ("Romance of the Three Kingdoms 11", Genre.STRATEGY),
+    ("The Elder Scrolls5", Genre.AAA_OPEN_WORLD),
+    ("PES2012", Genre.SPORTS_RACING),
+    ("Dynasty Warriors 5", Genre.SPORTS_RACING),
+)
+
+#: The six games whose sensitivity/intensity the paper plots (Figures 4-5).
+REPRESENTATIVE_GAMES: tuple[str, ...] = (
+    "Dota2",
+    "Far Cry4",
+    "Granado Espada",
+    "Rise of The Tomb Raider",
+    "The Elder Scrolls5",
+    "World of Warcraft",
+)
+
+# Shape families plausible per resource class; sampled with the weights
+# below so nonlinear curves dominate (Observation 4).  All pools are
+# convex-leaning: core and bandwidth contention behave like queueing
+# systems (little pain until load concentrates), caches like working-set
+# cliffs — which is also what makes interference strongly partner-specific
+# (light co-runners barely register, heavy ones devastate, Figure 1).
+_SHAPE_POOLS: dict[ResourceKind, tuple[tuple[CurveShape, tuple[float, float]], ...]] = {
+    ResourceKind.COMPUTE: (
+        (CurveShape.LINEAR, (1.0, 1.0)),
+        (CurveShape.CONVEX, (1.5, 3.0)),
+        (CurveShape.SIGMOID, (4.0, 10.0)),
+    ),
+    ResourceKind.BANDWIDTH: (
+        (CurveShape.LINEAR, (1.0, 1.0)),
+        (CurveShape.CONVEX, (1.3, 2.8)),
+        (CurveShape.SIGMOID, (3.0, 8.0)),
+    ),
+    ResourceKind.CACHE: (
+        (CurveShape.CLIFF, (0.2, 0.6)),
+        (CurveShape.CONVEX, (1.6, 3.5)),
+        (CurveShape.SIGMOID, (5.0, 12.0)),
+    ),
+}
+_SHAPE_WEIGHTS = (0.25, 0.40, 0.35)
+
+
+def _uniform(rng: np.random.Generator, bounds: tuple[float, float]) -> float:
+    lo, hi = bounds
+    return float(rng.uniform(lo, hi))
+
+
+def _sample_shape(
+    rng: np.random.Generator, kind: ResourceKind, magnitude: float
+) -> SensitivityShape:
+    pool = _SHAPE_POOLS[kind]
+    idx = int(rng.choice(len(pool), p=_SHAPE_WEIGHTS))
+    shape, param_range = pool[idx]
+    return SensitivityShape(
+        magnitude=magnitude, shape=shape, param=_uniform(rng, param_range)
+    )
+
+
+def _sample_spec(
+    name: str, genre: Genre, arch: GenreArchetype, rng: np.random.Generator
+) -> GameSpec:
+    cpu_time = _uniform(rng, arch.cpu_time_ms)
+    gpu_fixed = _uniform(rng, arch.gpu_fixed_ms)
+    gpu_mpix = _uniform(rng, arch.gpu_per_mpix_ms)
+    xfer_fixed = _uniform(rng, arch.xfer_fixed_ms)
+    xfer_mpix = _uniform(rng, arch.xfer_per_mpix_ms)
+    width_cpu = _uniform(rng, arch.width_cpu)
+    width_gpu = _uniform(rng, arch.width_gpu)
+
+    ref_mpix = REFERENCE_RESOLUTION.megapixels
+    gpu_time = gpu_fixed + gpu_mpix * ref_mpix
+    xfer_time = xfer_fixed + xfer_mpix * ref_mpix
+    frame_time = max(cpu_time, gpu_time) + xfer_time
+
+    util = {res: _uniform(rng, bounds) for res, bounds in arch.util.items()}
+    util[Resource.CPU_CE] = min(1.0, width_cpu * cpu_time / frame_time)
+    util[Resource.GPU_CE] = min(1.0, width_gpu * gpu_time / frame_time)
+
+    sensitivity = {
+        res: _sample_shape(rng, res.kind, _uniform(rng, arch.sensitivity[res]))
+        for res in Resource
+    }
+
+    return GameSpec(
+        name=name,
+        genre=genre,
+        cpu_time_ms=cpu_time,
+        gpu_fixed_ms=gpu_fixed,
+        gpu_per_mpix_ms=gpu_mpix,
+        xfer_fixed_ms=xfer_fixed,
+        xfer_per_mpix_ms=xfer_mpix,
+        base_util=ResourceVector(util),
+        sensitivity=sensitivity,
+        cpu_mem_gb=_uniform(rng, arch.cpu_mem_gb),
+        gpu_mem_gb=_uniform(rng, arch.gpu_mem_gb),
+        gpu_mem_per_mpix_gb=float(rng.uniform(0.08, 0.25)),
+        pixel_fraction=float(rng.uniform(0.5, 0.8)),
+        scene_rho=_uniform(rng, arch.scene_rho),
+        scene_sigma=_uniform(rng, arch.scene_sigma),
+        cpu_complexity_exp=float(rng.uniform(0.5, 1.0)),
+        gpu_complexity_exp=float(rng.uniform(0.8, 1.2)),
+    )
+
+
+def _apply_overrides(spec: GameSpec) -> GameSpec:
+    """Hand-tuned adjustments reproducing the paper's per-game anecdotes."""
+    sens = dict(spec.sensitivity)
+    if spec.name == "The Elder Scrolls5":
+        # ~70% degradation under maximum CPU-CE pressure (Observation 3).
+        sens[Resource.CPU_CE] = SensitivityShape(2.3, CurveShape.SIGMOID, 6.0)
+        return replace(spec, sensitivity=sens, cpu_time_ms=max(spec.cpu_time_ms, 8.0))
+    if spec.name == "Far Cry4":
+        # Sensitive to every shared resource, but only ~30% CPU-CE
+        # degradation at maximum pressure (Observations 1 and 3).  The CPU
+        # stage is made nearly co-dominant with the GPU stage so CPU-side
+        # pressure actually shows up in the frame rate.
+        sens[Resource.CPU_CE] = SensitivityShape(0.45, CurveShape.LINEAR)
+        for res in Resource:
+            if res is Resource.CPU_CE:
+                continue
+            old = sens[res]
+            if old.magnitude < 0.5:
+                sens[res] = SensitivityShape(0.7, old.shape, old.param)
+        cpu_time = 0.92 * spec.gpu_time_ms(REFERENCE_RESOLUTION)
+        return replace(spec, sensitivity=sens, cpu_time_ms=cpu_time)
+    if spec.name == "Granado Espada":
+        # Very sensitive to GPU-CE while exerting little GPU-CE pressure
+        # itself (Observation 2).
+        sens[Resource.GPU_CE] = SensitivityShape(2.2, CurveShape.CONCAVE, 0.6)
+        util = spec.base_util.values.copy()
+        util[int(Resource.GPU_CE)] = min(util[int(Resource.GPU_CE)], 0.15)
+        return replace(spec, sensitivity=sens, base_util=ResourceVector(util))
+    return spec
+
+
+class GameCatalog:
+    """Ordered, name-indexed collection of :class:`GameSpec`."""
+
+    def __init__(self, specs: Sequence[GameSpec], seed: int):
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate game names in catalog: {dupes}")
+        self._specs: dict[str, GameSpec] = {s.name: s for s in specs}
+        self.seed = int(seed)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[GameSpec]:
+        return iter(self._specs.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def get(self, name: str) -> GameSpec:
+        """Lookup by exact name; raises ``KeyError`` with suggestions."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            close = [n for n in self._specs if name.lower() in n.lower()]
+            hint = f"; did you mean one of {close}?" if close else ""
+            raise KeyError(f"unknown game {name!r}{hint}") from None
+
+    def names(self) -> list[str]:
+        """All game names in catalog order."""
+        return list(self._specs)
+
+    def games(self) -> list[GameSpec]:
+        """All specs in catalog order."""
+        return list(self._specs.values())
+
+    def subset(self, names: Sequence[str]) -> "GameCatalog":
+        """Catalog restricted to ``names`` (preserving the given order)."""
+        return GameCatalog([self.get(n) for n in names], seed=self.seed)
+
+    def representative_games(self) -> list[GameSpec]:
+        """The six games the paper profiles in Figures 4-5."""
+        return [self.get(n) for n in REPRESENTATIVE_GAMES if n in self]
+
+    def by_genre(self, genre: Genre) -> list[GameSpec]:
+        """All games of one genre."""
+        return [s for s in self if s.genre is genre]
+
+    def to_dict(self) -> dict:
+        """Serialize to plain types."""
+        return {"seed": self.seed, "games": [s.to_dict() for s in self]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "GameCatalog":
+        """Inverse of :meth:`to_dict`."""
+        specs = [GameSpec.from_dict(d) for d in data["games"]]
+        return cls(specs, seed=int(data["seed"]))
+
+
+def build_catalog(seed: int = DEFAULT_CATALOG_SEED) -> GameCatalog:
+    """Build the deterministic 100-game catalog for ``seed``."""
+    archetypes = genre_archetypes()
+    specs = []
+    for name, genre in GAME_NAMES:
+        rng = spawn_rng(seed, "catalog", name)
+        spec = _sample_spec(name, genre, archetypes[genre], rng)
+        specs.append(_apply_overrides(spec))
+    return GameCatalog(specs, seed=seed)

@@ -1,0 +1,384 @@
+"""Genre archetypes driving the synthetic catalog.
+
+Each genre carries sampling ranges for every hidden parameter of a game:
+frame-loop stage costs, shared-resource utilizations, sensitivity magnitudes,
+memory demands and scene-complexity dynamics.  Individual games draw
+uniformly from their genre's ranges using a per-game RNG substream, which
+yields the demand/FPS diversity of the paper's Figure 2 while keeping games
+of a genre recognizably similar.
+
+The numbers are calibrated to the paper's testbed scale: esports titles
+render at 200-350 FPS solo, AAA open-world titles at 50-90 FPS, pairs of
+mid-weight games usually stay above 60 FPS while four-way colocations
+usually do not (Section 4: "most of the games run at very low frame rate
+when they are colocated with four other games").
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.hardware.resources import Resource
+
+__all__ = ["Genre", "GenreArchetype", "genre_archetypes", "Range"]
+
+#: Inclusive (low, high) sampling range.
+Range = tuple[float, float]
+
+
+class Genre(enum.Enum):
+    """Game genres represented in the paper's 100-game list."""
+
+    MOBA_ESPORTS = "moba-esports"
+    AAA_OPEN_WORLD = "aaa-open-world"
+    SHOOTER = "shooter"
+    RPG = "rpg"
+    STRATEGY = "strategy"
+    INDIE = "indie"
+    MMO = "mmo"
+    SPORTS_RACING = "sports-racing"
+    CARD_CASUAL = "card-casual"
+    SIM_SANDBOX = "sim-sandbox"
+
+
+@dataclass(frozen=True)
+class GenreArchetype:
+    """Sampling ranges for every hidden game parameter.
+
+    ``util`` ranges cover the five non-compute resources (MEM-BW, LLC,
+    GPU-BW, GPU-L2, PCIe-BW); CPU-CE and GPU-CE utilizations are derived
+    from stage busy fractions at catalog-build time.  ``sensitivity`` ranges
+    are inflation magnitudes for all seven resources.
+    """
+
+    genre: Genre
+    cpu_time_ms: Range
+    gpu_fixed_ms: Range
+    gpu_per_mpix_ms: Range
+    xfer_fixed_ms: Range
+    xfer_per_mpix_ms: Range
+    width_cpu: Range
+    width_gpu: Range
+    util: Mapping[Resource, Range]
+    sensitivity: Mapping[Resource, Range]
+    cpu_mem_gb: Range
+    gpu_mem_gb: Range
+    scene_rho: Range
+    scene_sigma: Range
+
+    def __post_init__(self) -> None:
+        for res in (
+            Resource.MEM_BW,
+            Resource.LLC,
+            Resource.GPU_BW,
+            Resource.GPU_L2,
+            Resource.PCIE_BW,
+        ):
+            if res not in self.util:
+                raise ValueError(f"{self.genre}: util range missing for {res.label}")
+        for res in Resource:
+            if res not in self.sensitivity:
+                raise ValueError(
+                    f"{self.genre}: sensitivity range missing for {res.label}"
+                )
+
+
+def _stretch(r: Range, lo_factor: float, hi_factor: float, cap: float | None = None) -> Range:
+    """Widen a sampling range around itself (diversity calibration).
+
+    The paper stresses how widely games differ in sensitivity and intensity
+    (Observations 1-3); stretching the per-genre ranges reproduces that
+    within-genre spread, which in turn is what defeats partner-blind
+    baselines like Sigmoid.
+    """
+    lo, hi = r
+    lo = lo * lo_factor
+    hi = hi * hi_factor
+    if cap is not None:
+        hi = min(hi, cap)
+    return (lo, max(hi, lo + 1e-6))
+
+
+def _arch(
+    genre: Genre,
+    *,
+    cpu: Range,
+    gpu_fixed: Range,
+    gpu_mpix: Range,
+    xfer_fixed: Range = (0.2, 0.6),
+    xfer_mpix: Range = (0.05, 0.25),
+    width_cpu: Range = (0.3, 0.8),
+    width_gpu: Range = (0.6, 1.0),
+    mem_bw: Range,
+    llc: Range,
+    gpu_bw: Range,
+    gpu_l2: Range,
+    pcie: Range,
+    s_cpu: Range,
+    s_mem: Range,
+    s_llc: Range,
+    s_gce: Range,
+    s_gbw: Range,
+    s_gl2: Range,
+    s_pcie: Range,
+    cpu_mem: Range,
+    gpu_mem: Range,
+    rho: Range = (0.90, 0.98),
+    sigma: Range = (0.05, 0.15),
+) -> GenreArchetype:
+    return GenreArchetype(
+        genre=genre,
+        cpu_time_ms=cpu,
+        gpu_fixed_ms=gpu_fixed,
+        gpu_per_mpix_ms=gpu_mpix,
+        xfer_fixed_ms=xfer_fixed,
+        xfer_per_mpix_ms=xfer_mpix,
+        width_cpu=width_cpu,
+        width_gpu=width_gpu,
+        util={
+            Resource.MEM_BW: _stretch(mem_bw, 0.7, 1.2, cap=0.85),
+            Resource.LLC: _stretch(llc, 0.7, 1.2, cap=0.85),
+            Resource.GPU_BW: _stretch(gpu_bw, 0.7, 1.2, cap=0.85),
+            Resource.GPU_L2: _stretch(gpu_l2, 0.7, 1.2, cap=0.85),
+            Resource.PCIE_BW: _stretch(pcie, 0.7, 1.2, cap=0.85),
+        },
+        sensitivity={
+            Resource.CPU_CE: _stretch(s_cpu, 0.7, 1.35),
+            Resource.MEM_BW: _stretch(s_mem, 0.7, 1.35),
+            Resource.LLC: _stretch(s_llc, 0.7, 1.35),
+            Resource.GPU_CE: _stretch(s_gce, 0.7, 1.35),
+            Resource.GPU_BW: _stretch(s_gbw, 0.7, 1.35),
+            Resource.GPU_L2: _stretch(s_gl2, 0.7, 1.35),
+            Resource.PCIE_BW: _stretch(s_pcie, 0.7, 1.35),
+        },
+        cpu_mem_gb=cpu_mem,
+        gpu_mem_gb=gpu_mem,
+        scene_rho=rho,
+        scene_sigma=sigma,
+    )
+
+
+def genre_archetypes() -> dict[Genre, GenreArchetype]:
+    """The archetype table for all ten genres."""
+    return {
+        Genre.MOBA_ESPORTS: _arch(
+            Genre.MOBA_ESPORTS,
+            cpu=(2.0, 4.0),
+            gpu_fixed=(0.4, 1.0),
+            gpu_mpix=(0.6, 1.3),
+            width_cpu=(0.3, 0.6),
+            mem_bw=(0.08, 0.22),
+            llc=(0.10, 0.30),
+            gpu_bw=(0.08, 0.22),
+            gpu_l2=(0.08, 0.25),
+            pcie=(0.04, 0.15),
+            s_cpu=(0.6, 1.6),
+            s_mem=(0.2, 0.8),
+            s_llc=(0.3, 1.0),
+            s_gce=(0.4, 1.2),
+            s_gbw=(0.2, 0.7),
+            s_gl2=(0.2, 0.8),
+            s_pcie=(0.1, 0.5),
+            cpu_mem=(0.5, 1.2),
+            gpu_mem=(0.4, 0.9),
+            sigma=(0.04, 0.10),
+        ),
+        Genre.AAA_OPEN_WORLD: _arch(
+            Genre.AAA_OPEN_WORLD,
+            cpu=(5.0, 11.0),
+            gpu_fixed=(1.0, 2.5),
+            gpu_mpix=(4.5, 8.0),
+            xfer_fixed=(0.4, 1.0),
+            xfer_mpix=(0.15, 0.45),
+            width_cpu=(0.45, 0.9),
+            mem_bw=(0.30, 0.60),
+            llc=(0.30, 0.65),
+            gpu_bw=(0.40, 0.75),
+            gpu_l2=(0.30, 0.65),
+            pcie=(0.15, 0.40),
+            s_cpu=(0.5, 1.8),
+            s_mem=(0.5, 1.5),
+            s_llc=(0.5, 1.6),
+            s_gce=(0.8, 2.4),
+            s_gbw=(0.6, 1.8),
+            s_gl2=(0.5, 1.5),
+            s_pcie=(0.3, 1.0),
+            cpu_mem=(1.0, 2.0),
+            gpu_mem=(0.8, 1.5),
+            sigma=(0.10, 0.20),
+        ),
+        Genre.SHOOTER: _arch(
+            Genre.SHOOTER,
+            cpu=(3.0, 6.5),
+            gpu_fixed=(0.8, 1.8),
+            gpu_mpix=(2.4, 4.5),
+            width_cpu=(0.4, 0.8),
+            mem_bw=(0.20, 0.45),
+            llc=(0.20, 0.50),
+            gpu_bw=(0.25, 0.55),
+            gpu_l2=(0.20, 0.50),
+            pcie=(0.10, 0.30),
+            s_cpu=(0.5, 1.6),
+            s_mem=(0.4, 1.2),
+            s_llc=(0.4, 1.3),
+            s_gce=(0.7, 2.0),
+            s_gbw=(0.5, 1.5),
+            s_gl2=(0.4, 1.2),
+            s_pcie=(0.2, 0.8),
+            cpu_mem=(0.8, 1.7),
+            gpu_mem=(0.6, 1.2),
+        ),
+        Genre.RPG: _arch(
+            Genre.RPG,
+            cpu=(3.0, 7.0),
+            gpu_fixed=(0.8, 2.0),
+            gpu_mpix=(2.0, 4.8),
+            mem_bw=(0.18, 0.42),
+            llc=(0.20, 0.50),
+            gpu_bw=(0.22, 0.55),
+            gpu_l2=(0.20, 0.50),
+            pcie=(0.08, 0.28),
+            s_cpu=(0.6, 2.2),
+            s_mem=(0.4, 1.3),
+            s_llc=(0.5, 1.5),
+            s_gce=(0.6, 2.0),
+            s_gbw=(0.4, 1.4),
+            s_gl2=(0.4, 1.3),
+            s_pcie=(0.2, 0.8),
+            cpu_mem=(0.8, 1.7),
+            gpu_mem=(0.5, 1.1),
+        ),
+        Genre.STRATEGY: _arch(
+            Genre.STRATEGY,
+            cpu=(6.0, 12.0),
+            gpu_fixed=(0.6, 1.5),
+            gpu_mpix=(1.0, 2.4),
+            width_cpu=(0.5, 0.95),
+            mem_bw=(0.25, 0.52),
+            llc=(0.30, 0.60),
+            gpu_bw=(0.12, 0.32),
+            gpu_l2=(0.12, 0.35),
+            pcie=(0.05, 0.18),
+            s_cpu=(1.0, 2.6),
+            s_mem=(0.6, 1.6),
+            s_llc=(0.6, 1.8),
+            s_gce=(0.3, 1.0),
+            s_gbw=(0.2, 0.8),
+            s_gl2=(0.2, 0.8),
+            s_pcie=(0.1, 0.5),
+            cpu_mem=(0.8, 1.8),
+            gpu_mem=(0.4, 0.9),
+            sigma=(0.05, 0.12),
+        ),
+        Genre.INDIE: _arch(
+            Genre.INDIE,
+            cpu=(2.0, 4.5),
+            gpu_fixed=(0.3, 1.0),
+            gpu_mpix=(0.5, 2.0),
+            width_cpu=(0.25, 0.5),
+            mem_bw=(0.05, 0.18),
+            llc=(0.08, 0.25),
+            gpu_bw=(0.06, 0.20),
+            gpu_l2=(0.06, 0.22),
+            pcie=(0.03, 0.12),
+            s_cpu=(0.4, 1.2),
+            s_mem=(0.2, 0.7),
+            s_llc=(0.2, 0.8),
+            s_gce=(0.3, 1.0),
+            s_gbw=(0.2, 0.6),
+            s_gl2=(0.2, 0.6),
+            s_pcie=(0.1, 0.4),
+            cpu_mem=(0.4, 0.9),
+            gpu_mem=(0.25, 0.6),
+            sigma=(0.03, 0.08),
+        ),
+        Genre.MMO: _arch(
+            Genre.MMO,
+            cpu=(4.0, 8.0),
+            gpu_fixed=(0.8, 1.8),
+            gpu_mpix=(1.5, 3.5),
+            width_cpu=(0.4, 0.8),
+            mem_bw=(0.20, 0.45),
+            llc=(0.25, 0.55),
+            gpu_bw=(0.18, 0.45),
+            gpu_l2=(0.18, 0.45),
+            pcie=(0.08, 0.25),
+            s_cpu=(0.8, 2.2),
+            s_mem=(0.5, 1.4),
+            s_llc=(0.5, 1.6),
+            s_gce=(0.5, 1.8),
+            s_gbw=(0.4, 1.2),
+            s_gl2=(0.3, 1.1),
+            s_pcie=(0.2, 0.7),
+            cpu_mem=(0.8, 1.7),
+            gpu_mem=(0.5, 1.1),
+        ),
+        Genre.SPORTS_RACING: _arch(
+            Genre.SPORTS_RACING,
+            cpu=(3.0, 6.0),
+            gpu_fixed=(0.8, 1.6),
+            gpu_mpix=(2.0, 4.0),
+            mem_bw=(0.18, 0.40),
+            llc=(0.18, 0.45),
+            gpu_bw=(0.22, 0.50),
+            gpu_l2=(0.18, 0.45),
+            pcie=(0.10, 0.28),
+            s_cpu=(0.5, 1.5),
+            s_mem=(0.4, 1.1),
+            s_llc=(0.4, 1.2),
+            s_gce=(0.6, 1.8),
+            s_gbw=(0.5, 1.4),
+            s_gl2=(0.4, 1.1),
+            s_pcie=(0.2, 0.7),
+            cpu_mem=(0.7, 1.6),
+            gpu_mem=(0.5, 1.1),
+            sigma=(0.06, 0.14),
+        ),
+        Genre.CARD_CASUAL: _arch(
+            Genre.CARD_CASUAL,
+            cpu=(1.8, 3.2),
+            gpu_fixed=(0.3, 0.8),
+            gpu_mpix=(0.4, 1.2),
+            xfer_fixed=(0.1, 0.3),
+            xfer_mpix=(0.02, 0.10),
+            width_cpu=(0.25, 0.45),
+            mem_bw=(0.03, 0.10),
+            llc=(0.05, 0.18),
+            gpu_bw=(0.03, 0.12),
+            gpu_l2=(0.04, 0.15),
+            pcie=(0.02, 0.08),
+            s_cpu=(0.3, 0.9),
+            s_mem=(0.1, 0.5),
+            s_llc=(0.2, 0.6),
+            s_gce=(0.2, 0.8),
+            s_gbw=(0.1, 0.5),
+            s_gl2=(0.1, 0.5),
+            s_pcie=(0.05, 0.3),
+            cpu_mem=(0.3, 0.7),
+            gpu_mem=(0.15, 0.45),
+            sigma=(0.02, 0.06),
+        ),
+        Genre.SIM_SANDBOX: _arch(
+            Genre.SIM_SANDBOX,
+            cpu=(3.0, 8.0),
+            gpu_fixed=(0.5, 1.4),
+            gpu_mpix=(0.8, 2.2),
+            width_cpu=(0.35, 0.75),
+            mem_bw=(0.15, 0.38),
+            llc=(0.18, 0.45),
+            gpu_bw=(0.10, 0.30),
+            gpu_l2=(0.10, 0.32),
+            pcie=(0.05, 0.18),
+            s_cpu=(0.7, 2.0),
+            s_mem=(0.4, 1.2),
+            s_llc=(0.5, 1.4),
+            s_gce=(0.3, 1.2),
+            s_gbw=(0.2, 0.8),
+            s_gl2=(0.2, 0.8),
+            s_pcie=(0.1, 0.5),
+            cpu_mem=(0.6, 1.5),
+            gpu_mem=(0.35, 0.8),
+        ),
+    }

@@ -1,0 +1,63 @@
+"""Display resolutions and pixel-count scaling.
+
+Players choose resolutions per request (Section 3.3).  The reference
+resolution for hidden catalog parameters is 1080p; GPU-side quantities scale
+with the pixel ratio relative to it (Observations 7-8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Resolution", "REFERENCE_RESOLUTION", "PRESET_RESOLUTIONS"]
+
+
+@dataclass(frozen=True, order=True)
+class Resolution:
+    """A display resolution in pixels."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"resolution must be positive, got {self.width}x{self.height}")
+
+    @property
+    def pixels(self) -> int:
+        """Total pixel count."""
+        return self.width * self.height
+
+    @property
+    def megapixels(self) -> float:
+        """Pixel count in units of 10^6."""
+        return self.pixels / 1e6
+
+    def pixel_ratio(self, reference: "Resolution | None" = None) -> float:
+        """Pixel count relative to ``reference`` (default 1080p)."""
+        ref = reference if reference is not None else REFERENCE_RESOLUTION
+        return self.pixels / ref.pixels
+
+    def __str__(self) -> str:
+        return f"{self.width}x{self.height}"
+
+    def to_dict(self) -> dict:
+        """Serialize to plain types."""
+        return {"width": self.width, "height": self.height}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Resolution":
+        """Inverse of :meth:`to_dict`."""
+        return cls(int(data["width"]), int(data["height"]))
+
+
+REFERENCE_RESOLUTION = Resolution(1920, 1080)
+
+#: Resolutions players may pick, mirroring common presets on the paper's
+#: GTX 1060 testbed (a 1060 streams 720p-1080p; 1440p cloud gaming was not
+#: served on this hardware class).
+PRESET_RESOLUTIONS: tuple[Resolution, ...] = (
+    Resolution(1280, 720),
+    Resolution(1600, 900),
+    Resolution(1920, 1080),
+)

@@ -1,0 +1,44 @@
+"""Simulated cloud-gaming server hardware.
+
+This package models the shared-resource substrate that the paper's physical
+testbed (Intel i7-7700 + NVIDIA GTX 1060) provides: the seven contended
+resources GAugur profiles (Section 3.2), server capacity specs, and the
+per-resource contention combinators that make aggregate interference
+non-additive (Observation 5).
+"""
+
+from repro.hardware.contention import (
+    ContentionModel,
+    aggregate_pressure,
+    bandwidth_pressure,
+    cache_pressure,
+    compute_pressure,
+)
+from repro.hardware.resources import (
+    CPU_RESOURCES,
+    GPU_RESOURCES,
+    NUM_RESOURCES,
+    Resource,
+    ResourceDomain,
+    ResourceKind,
+    ResourceVector,
+)
+from repro.hardware.server import DEFAULT_SERVER, ServerSpec, server_catalog
+
+__all__ = [
+    "Resource",
+    "ResourceDomain",
+    "ResourceKind",
+    "ResourceVector",
+    "NUM_RESOURCES",
+    "CPU_RESOURCES",
+    "GPU_RESOURCES",
+    "ServerSpec",
+    "DEFAULT_SERVER",
+    "server_catalog",
+    "ContentionModel",
+    "aggregate_pressure",
+    "compute_pressure",
+    "bandwidth_pressure",
+    "cache_pressure",
+]

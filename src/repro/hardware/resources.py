@@ -1,0 +1,214 @@
+"""The seven shared resources GAugur models, and vectors indexed by them.
+
+The paper (Section 3.2) identifies seven shared resources that matter for
+game performance: CPU cores (CPU-CE), last-level cache (LLC), memory
+bandwidth (MEM-BW), GPU cores (GPU-CE), GPU memory bandwidth (GPU-BW),
+GPU L2 cache (GPU-L2) and PCIe bandwidth (PCIe-BW).  CPU and GPU memory
+*capacity* are excluded from the contention features because they only
+matter when oversubscribed (the simulator still enforces that constraint,
+see :mod:`repro.simulator.engine`).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "Resource",
+    "ResourceDomain",
+    "ResourceKind",
+    "ResourceVector",
+    "NUM_RESOURCES",
+    "CPU_RESOURCES",
+    "GPU_RESOURCES",
+]
+
+
+class ResourceDomain(enum.Enum):
+    """Which pipeline stage a resource's contention inflates."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    LINK = "link"
+
+
+class ResourceKind(enum.Enum):
+    """Contention behaviour class, selecting the aggregation combinator."""
+
+    COMPUTE = "compute"
+    BANDWIDTH = "bandwidth"
+    CACHE = "cache"
+
+
+class Resource(enum.IntEnum):
+    """The seven contended resources, ordered as in the paper's figures."""
+
+    CPU_CE = 0
+    MEM_BW = 1
+    LLC = 2
+    GPU_CE = 3
+    GPU_BW = 4
+    GPU_L2 = 5
+    PCIE_BW = 6
+
+    @property
+    def label(self) -> str:
+        """Paper-style display label, e.g. ``"CPU-CE"``."""
+        return _LABELS[self]
+
+    @property
+    def domain(self) -> ResourceDomain:
+        """Pipeline stage this resource belongs to."""
+        return _DOMAINS[self]
+
+    @property
+    def kind(self) -> ResourceKind:
+        """Contention class of the resource."""
+        return _KINDS[self]
+
+    @classmethod
+    def from_label(cls, label: str) -> "Resource":
+        """Inverse of :attr:`label`."""
+        for res, text in _LABELS.items():
+            if text == label:
+                return res
+        raise KeyError(f"unknown resource label {label!r}")
+
+
+_LABELS: dict[Resource, str] = {
+    Resource.CPU_CE: "CPU-CE",
+    Resource.MEM_BW: "MEM-BW",
+    Resource.LLC: "LLC",
+    Resource.GPU_CE: "GPU-CE",
+    Resource.GPU_BW: "GPU-BW",
+    Resource.GPU_L2: "GPU-L2",
+    Resource.PCIE_BW: "PCIe-BW",
+}
+
+_DOMAINS: dict[Resource, ResourceDomain] = {
+    Resource.CPU_CE: ResourceDomain.CPU,
+    Resource.MEM_BW: ResourceDomain.CPU,
+    Resource.LLC: ResourceDomain.CPU,
+    Resource.GPU_CE: ResourceDomain.GPU,
+    Resource.GPU_BW: ResourceDomain.GPU,
+    Resource.GPU_L2: ResourceDomain.GPU,
+    Resource.PCIE_BW: ResourceDomain.LINK,
+}
+
+_KINDS: dict[Resource, ResourceKind] = {
+    Resource.CPU_CE: ResourceKind.COMPUTE,
+    Resource.MEM_BW: ResourceKind.BANDWIDTH,
+    Resource.LLC: ResourceKind.CACHE,
+    Resource.GPU_CE: ResourceKind.COMPUTE,
+    Resource.GPU_BW: ResourceKind.BANDWIDTH,
+    Resource.GPU_L2: ResourceKind.CACHE,
+    Resource.PCIE_BW: ResourceKind.BANDWIDTH,
+}
+
+NUM_RESOURCES: int = len(Resource)
+
+CPU_RESOURCES: tuple[Resource, ...] = tuple(
+    r for r in Resource if r.domain is ResourceDomain.CPU
+)
+GPU_RESOURCES: tuple[Resource, ...] = tuple(
+    r for r in Resource if r.domain is ResourceDomain.GPU
+)
+
+
+class ResourceVector:
+    """A dense float vector with one entry per :class:`Resource`.
+
+    Thin, immutable-by-convention wrapper around a ``(7,)`` ndarray that adds
+    resource-name indexing, arithmetic and dict round-trips.  Used for
+    utilizations, intensities and demands.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Iterable[float] | Mapping[Resource, float] | None = None):
+        if values is None:
+            self._values = np.zeros(NUM_RESOURCES, dtype=float)
+        elif isinstance(values, Mapping):
+            self._values = np.zeros(NUM_RESOURCES, dtype=float)
+            for res, val in values.items():
+                self._values[int(Resource(res))] = float(val)
+        else:
+            arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                             dtype=float)
+            if arr.shape != (NUM_RESOURCES,):
+                raise ValueError(
+                    f"ResourceVector requires {NUM_RESOURCES} values, got shape {arr.shape}"
+                )
+            self._values = arr.copy()
+        if not np.isfinite(self._values).all():
+            raise ValueError("ResourceVector entries must be finite")
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of the underlying array."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    def __getitem__(self, res: Resource) -> float:
+        return float(self._values[int(Resource(res))])
+
+    def __iter__(self):
+        return iter(self._values.tolist())
+
+    def __len__(self) -> int:
+        return NUM_RESOURCES
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(self._values + other._values)
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(self._values - other._values)
+
+    def __mul__(self, scalar: float) -> "ResourceVector":
+        return ResourceVector(self._values * float(scalar))
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResourceVector):
+            return NotImplemented
+        return bool(np.array_equal(self._values, other._values))
+
+    def __hash__(self):  # pragma: no cover - explicit unhashability
+        raise TypeError("ResourceVector is unhashable")
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{r.label}={self._values[int(r)]:.3f}" for r in Resource)
+        return f"ResourceVector({parts})"
+
+    def clip(self, low: float = 0.0, high: float = np.inf) -> "ResourceVector":
+        """Return a copy with entries clipped to ``[low, high]``."""
+        return ResourceVector(np.clip(self._values, low, high))
+
+    def scale(self, factors: Mapping[Resource, float]) -> "ResourceVector":
+        """Return a copy with selected entries multiplied by per-resource factors."""
+        out = self._values.copy()
+        for res, f in factors.items():
+            out[int(Resource(res))] *= float(f)
+        return ResourceVector(out)
+
+    def max(self) -> float:
+        """Largest entry."""
+        return float(self._values.max())
+
+    def dominates(self, other: "ResourceVector") -> bool:
+        """True if every entry is >= the corresponding entry of ``other``."""
+        return bool(np.all(self._values >= other._values))
+
+    def to_dict(self) -> dict[str, float]:
+        """Serialize to ``{label: value}``."""
+        return {r.label: float(self._values[int(r)]) for r in Resource}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "ResourceVector":
+        """Inverse of :meth:`to_dict`."""
+        return cls({Resource.from_label(k): v for k, v in data.items()})

@@ -1,0 +1,117 @@
+"""Server capacity specifications.
+
+The paper's testbed is a single fixed server (4-core i7-7700, 8 GB RAM,
+GTX 1060 6 GB).  Shared-resource capacities are normalized to 1.0 — workload
+utilizations are expressed as fractions of this server's capacity — while
+memory capacities are kept in GB because memory only matters as a hard
+constraint (Section 3.2: "memories have almost no impact on the frame rate
+... as long as the total memory demand does not exceed the server capacity").
+
+A small catalog of alternative specs supports the paper's future-work item
+of testing on more server types: capacities are expressed *relative to* the
+reference server, so a spec with ``gpu_scale=2.0`` halves every GPU-side
+utilization fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.resources import Resource, ResourceDomain, ResourceVector
+from repro.utils.validation import check_positive
+
+__all__ = ["ServerSpec", "DEFAULT_SERVER", "server_catalog"]
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A cloud-gaming server type.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    cpu_scale, gpu_scale, link_scale:
+        Shared-resource capacity relative to the reference (i7-7700 /
+        GTX 1060) server.  A game that uses 0.6 of the reference GPU uses
+        ``0.6 / gpu_scale`` of this server's GPU.
+    cpu_mem_gb, gpu_mem_gb:
+        Hard memory capacities.
+    """
+
+    name: str = "reference-i7700-gtx1060"
+    cpu_scale: float = 1.0
+    gpu_scale: float = 1.0
+    link_scale: float = 1.0
+    cpu_mem_gb: float = 8.0
+    gpu_mem_gb: float = 6.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.cpu_scale, "cpu_scale")
+        check_positive(self.gpu_scale, "gpu_scale")
+        check_positive(self.link_scale, "link_scale")
+        check_positive(self.cpu_mem_gb, "cpu_mem_gb")
+        check_positive(self.gpu_mem_gb, "gpu_mem_gb")
+
+    def domain_scale(self, resource: Resource) -> float:
+        """Capacity scale applying to ``resource``."""
+        domain = Resource(resource).domain
+        if domain is ResourceDomain.CPU:
+            return self.cpu_scale
+        if domain is ResourceDomain.GPU:
+            return self.gpu_scale
+        return self.link_scale
+
+    def normalize_utilization(self, util: ResourceVector) -> ResourceVector:
+        """Rescale a reference-server utilization vector to this server."""
+        scaled = np.array(
+            [util[res] / self.domain_scale(res) for res in Resource], dtype=float
+        )
+        return ResourceVector(scaled)
+
+    def to_dict(self) -> dict:
+        """Serialize to plain types."""
+        return {
+            "name": self.name,
+            "cpu_scale": self.cpu_scale,
+            "gpu_scale": self.gpu_scale,
+            "link_scale": self.link_scale,
+            "cpu_mem_gb": self.cpu_mem_gb,
+            "gpu_mem_gb": self.gpu_mem_gb,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServerSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+DEFAULT_SERVER = ServerSpec()
+
+
+def server_catalog() -> dict[str, ServerSpec]:
+    """Alternative server types (paper Section 8, future work item 1)."""
+    return {
+        spec.name: spec
+        for spec in (
+            DEFAULT_SERVER,
+            ServerSpec(
+                name="midrange-i5-gtx1050",
+                cpu_scale=0.75,
+                gpu_scale=0.6,
+                link_scale=1.0,
+                cpu_mem_gb=8.0,
+                gpu_mem_gb=4.0,
+            ),
+            ServerSpec(
+                name="highend-i9-rtx2080",
+                cpu_scale=1.8,
+                gpu_scale=2.2,
+                link_scale=1.5,
+                cpu_mem_gb=32.0,
+                gpu_mem_gb=8.0,
+            ),
+        )
+    }

@@ -1,0 +1,61 @@
+"""From-scratch machine-learning substrate.
+
+The paper builds its CM/RM predictors with Decision Trees, Random Forests,
+Gradient-Boosted Trees and Support Vector machines (Section 3.4).  This
+environment has no scikit-learn, so this package implements the required
+learners on NumPy: exact CART trees with O(n log n) split search, bagged
+forests, gradient boosting with Newton leaf updates, and kernel machines
+trained in the primal.  The API mirrors the familiar fit/predict convention
+so the GAugur core can swap learners freely.
+"""
+
+from repro.ml.base import BaseEstimator, check_array, check_X_y
+from repro.ml.factorization import ALSMatrixCompletion
+from repro.ml.inspection import permutation_importance
+from repro.ml.serialization import load_model, save_model
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.gbdt import GradientBoostingClassifier, GradientBoostingRegressor
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_counts,
+    mean_absolute_error,
+    mean_relative_error,
+    precision_score,
+    r2_score,
+    recall_score,
+    relative_errors,
+)
+from repro.ml.model_selection import KFold, cross_val_score, train_test_split
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.svm import SVC, SVR
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "ALSMatrixCompletion",
+    "BaseEstimator",
+    "check_array",
+    "check_X_y",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+    "SVC",
+    "SVR",
+    "StandardScaler",
+    "train_test_split",
+    "KFold",
+    "cross_val_score",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "confusion_counts",
+    "mean_relative_error",
+    "relative_errors",
+    "mean_absolute_error",
+    "r2_score",
+    "permutation_importance",
+    "save_model",
+    "load_model",
+]

@@ -1,0 +1,105 @@
+"""Evaluation metrics.
+
+Includes the paper's error definitions: prediction error for regression is
+``|pred - actual| / actual`` (Section 4.2), classification quality uses
+accuracy together with the precision/recall decomposition over
+feasible-colocation judgements (Section 5.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_counts",
+    "relative_errors",
+    "mean_relative_error",
+    "mean_absolute_error",
+    "r2_score",
+]
+
+
+def _pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValueError(
+            f"y_true and y_pred must be equal-length 1-D arrays, got "
+            f"{y_true.shape} and {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("metric inputs must be non-empty")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_counts(y_true, y_pred, *, positive=1) -> dict[str, int]:
+    """TP/FP/FN/TN counts for a binary problem."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    t = y_true == positive
+    p = y_pred == positive
+    return {
+        "tp": int(np.sum(t & p)),
+        "fp": int(np.sum(~t & p)),
+        "fn": int(np.sum(t & ~p)),
+        "tn": int(np.sum(~t & ~p)),
+    }
+
+
+def precision_score(y_true, y_pred, *, positive=1) -> float:
+    """TP / (TP + FP); 0 when nothing was predicted positive."""
+    c = confusion_counts(y_true, y_pred, positive=positive)
+    denom = c["tp"] + c["fp"]
+    return c["tp"] / denom if denom else 0.0
+
+
+def recall_score(y_true, y_pred, *, positive=1) -> float:
+    """TP / (TP + FN); 0 when there are no actual positives."""
+    c = confusion_counts(y_true, y_pred, positive=positive)
+    denom = c["tp"] + c["fn"]
+    return c["tp"] / denom if denom else 0.0
+
+
+def f1_score(y_true, y_pred, *, positive=1) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision_score(y_true, y_pred, positive=positive)
+    r = recall_score(y_true, y_pred, positive=positive)
+    return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def relative_errors(y_true, y_pred) -> np.ndarray:
+    """Per-sample ``|pred - actual| / actual`` (the paper's error metric)."""
+    y_true, y_pred = _pair(np.asarray(y_true, float), np.asarray(y_pred, float))
+    if np.any(y_true <= 0):
+        raise ValueError("relative error requires strictly positive actual values")
+    return np.abs(y_pred - y_true) / y_true
+
+
+def mean_relative_error(y_true, y_pred) -> float:
+    """Mean of :func:`relative_errors`."""
+    return float(np.mean(relative_errors(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute deviation."""
+    y_true, y_pred = _pair(np.asarray(y_true, float), np.asarray(y_pred, float))
+    return float(np.mean(np.abs(y_pred - y_true)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination."""
+    y_true, y_pred = _pair(np.asarray(y_true, float), np.asarray(y_pred, float))
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,64 @@
+"""Dataset splitting and cross-validation."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.ml.base import check_X_y
+
+__all__ = ["train_test_split", "KFold", "cross_val_score"]
+
+
+def train_test_split(
+    X, y, *, test_size: float = 0.25, rng: np.random.Generator | None = None
+):
+    """Random split into (X_train, X_test, y_train, y_test)."""
+    X, y = check_X_y(X, y)
+    if not (0.0 < test_size < 1.0):
+        raise ValueError(f"test_size must lie in (0, 1), got {test_size}")
+    rng = rng if rng is not None else np.random.default_rng()
+    n = X.shape[0]
+    n_test = max(1, int(round(n * test_size)))
+    if n_test >= n:
+        raise ValueError(f"test_size {test_size} leaves no training data for n={n}")
+    perm = rng.permutation(n)
+    test_idx, train_idx = perm[:n_test], perm[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits: int = 5, *, shuffle: bool = True, seed: int = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = int(n_splits)
+        self.shuffle = bool(shuffle)
+        self.seed = int(seed)
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_idx, test_idx) pairs over ``n_samples`` rows."""
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        idx = np.arange(n_samples)
+        if self.shuffle:
+            np.random.default_rng(self.seed).shuffle(idx)
+        for fold in np.array_split(idx, self.n_splits):
+            train = np.setdiff1d(idx, fold, assume_unique=False)
+            yield train, fold
+
+
+def cross_val_score(estimator, X, y, *, metric, cv: KFold | None = None) -> np.ndarray:
+    """Fit/evaluate ``estimator`` clones over folds; returns per-fold scores."""
+    X, y = check_X_y(X, y)
+    cv = cv if cv is not None else KFold()
+    scores = []
+    for train_idx, test_idx in cv.split(X.shape[0]):
+        model = estimator.clone()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(metric(y[test_idx], model.predict(X[test_idx])))
+    return np.asarray(scores, dtype=float)

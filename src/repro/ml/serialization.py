@@ -1,0 +1,192 @@
+"""Serialization of fitted estimators to JSON-compatible dicts.
+
+GAugur's deployment story separates offline training from online
+prediction (Section 3.5): models are trained once, then served at request
+arrivals.  That requires persisting fitted estimators.  This module
+round-trips every estimator in :mod:`repro.ml` through plain dicts, with a
+type registry for dispatch; :func:`save_model` / :func:`load_model` add
+file I/O.
+
+Serialization is centralized here (rather than per-class methods) so the
+estimator implementations stay free of persistence concerns.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.gbdt import GradientBoostingClassifier, GradientBoostingRegressor
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.svm import SVC, SVR
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor, _Tree
+from repro.utils.serialization import dump_json, load_json
+
+__all__ = ["estimator_to_dict", "estimator_from_dict", "save_model", "load_model"]
+
+_TREE_CLASSES = (DecisionTreeClassifier, DecisionTreeRegressor)
+_FOREST_CLASSES = (RandomForestClassifier, RandomForestRegressor)
+_BOOSTING_CLASSES = (GradientBoostingClassifier, GradientBoostingRegressor)
+_KERNEL_CLASSES = (SVC, SVR)
+
+_REGISTRY = {
+    cls.__name__: cls
+    for cls in (
+        *_TREE_CLASSES,
+        *_FOREST_CLASSES,
+        *_BOOSTING_CLASSES,
+        *_KERNEL_CLASSES,
+        StandardScaler,
+    )
+}
+
+
+def _classes_to_list(classes: np.ndarray) -> dict:
+    return {"values": classes.tolist(), "dtype": classes.dtype.kind}
+
+
+def _classes_from_list(data: dict) -> np.ndarray:
+    values = data["values"]
+    if data["dtype"] in "iu":
+        return np.asarray(values, dtype=int)
+    if data["dtype"] == "f":
+        return np.asarray(values, dtype=float)
+    return np.asarray(values)
+
+
+def _tree_state(tree: _Tree) -> dict:
+    return {
+        "feature": tree.feature.tolist(),
+        "threshold": [None if np.isnan(t) else float(t) for t in tree.threshold],
+        "left": tree.left.tolist(),
+        "right": tree.right.tolist(),
+        "value": tree.value.tolist(),
+        "n_node_samples": tree.n_node_samples.tolist(),
+    }
+
+
+def _tree_from_state(state: dict) -> _Tree:
+    return _Tree(
+        feature=np.asarray(state["feature"], dtype=np.int64),
+        threshold=np.asarray(
+            [np.nan if t is None else t for t in state["threshold"]], dtype=float
+        ),
+        left=np.asarray(state["left"], dtype=np.int64),
+        right=np.asarray(state["right"], dtype=np.int64),
+        value=np.asarray(state["value"], dtype=float),
+        n_node_samples=np.asarray(state["n_node_samples"], dtype=np.int64),
+    )
+
+
+def estimator_to_dict(estimator) -> dict:
+    """Serialize a fitted estimator (or scaler) to a plain dict."""
+    name = type(estimator).__name__
+    if name not in _REGISTRY:
+        raise TypeError(f"cannot serialize estimator of type {name}")
+    out: dict = {"type": name, "params": estimator.get_params()}
+
+    if isinstance(estimator, _TREE_CLASSES):
+        estimator._check_fitted("tree_")
+        out["state"] = {
+            "tree": _tree_state(estimator.tree_),
+            "feature_importances": estimator.feature_importances_.tolist(),
+            "n_features": estimator.n_features_,
+        }
+        if isinstance(estimator, DecisionTreeClassifier):
+            out["state"]["classes"] = _classes_to_list(estimator.classes_)
+    elif isinstance(estimator, _FOREST_CLASSES):
+        estimator._check_fitted("estimators_")
+        out["state"] = {
+            "estimators": [estimator_to_dict(t) for t in estimator.estimators_],
+            "feature_importances": estimator.feature_importances_.tolist(),
+        }
+        if isinstance(estimator, RandomForestClassifier):
+            out["state"]["classes"] = _classes_to_list(estimator.classes_)
+    elif isinstance(estimator, _BOOSTING_CLASSES):
+        estimator._check_fitted("estimators_")
+        out["state"] = {
+            "init": estimator.init_,
+            "estimators": [estimator_to_dict(t) for t in estimator.estimators_],
+            "train_losses": list(estimator.train_losses_),
+        }
+        if isinstance(estimator, GradientBoostingClassifier):
+            out["state"]["classes"] = _classes_to_list(estimator.classes_)
+    elif isinstance(estimator, _KERNEL_CLASSES):
+        estimator._check_fitted("beta_")
+        out["state"] = {
+            "beta": estimator.beta_.tolist(),
+            "intercept": estimator.intercept_,
+            "gamma": estimator.gamma_,
+            "X_train": estimator.X_train_.tolist(),
+        }
+        if isinstance(estimator, SVC):
+            out["state"]["classes"] = _classes_to_list(estimator.classes_)
+    elif isinstance(estimator, StandardScaler):
+        estimator._check_fitted("mean_")
+        out["state"] = {
+            "mean": estimator.mean_.tolist(),
+            "scale": estimator.scale_.tolist(),
+        }
+    return out
+
+
+def estimator_from_dict(data: dict):
+    """Reconstruct a fitted estimator serialized by :func:`estimator_to_dict`."""
+    name = data["type"]
+    if name not in _REGISTRY:
+        raise TypeError(f"unknown estimator type {name!r}")
+    cls = _REGISTRY[name]
+    params = dict(data["params"])
+    # Tuples become lists in JSON; constructor params here are scalars, so
+    # no coercion is needed beyond what the classes validate themselves.
+    estimator = cls(**params)
+    state = data["state"]
+
+    if issubclass(cls, _TREE_CLASSES):
+        estimator.tree_ = _tree_from_state(state["tree"])
+        estimator.feature_importances_ = np.asarray(
+            state["feature_importances"], dtype=float
+        )
+        estimator.n_features_ = int(state["n_features"])
+        if "classes" in state:
+            estimator.classes_ = _classes_from_list(state["classes"])
+    elif issubclass(cls, _FOREST_CLASSES):
+        estimator.estimators_ = [
+            estimator_from_dict(t) for t in state["estimators"]
+        ]
+        estimator.feature_importances_ = np.asarray(
+            state["feature_importances"], dtype=float
+        )
+        if "classes" in state:
+            estimator.classes_ = _classes_from_list(state["classes"])
+    elif issubclass(cls, _BOOSTING_CLASSES):
+        estimator.init_ = float(state["init"])
+        estimator.estimators_ = [
+            estimator_from_dict(t) for t in state["estimators"]
+        ]
+        estimator.train_losses_ = list(state["train_losses"])
+        if "classes" in state:
+            estimator.classes_ = _classes_from_list(state["classes"])
+    elif issubclass(cls, _KERNEL_CLASSES):
+        estimator.beta_ = np.asarray(state["beta"], dtype=float)
+        estimator.intercept_ = float(state["intercept"])
+        estimator.gamma_ = float(state["gamma"])
+        estimator.X_train_ = np.asarray(state["X_train"], dtype=float)
+        if "classes" in state:
+            estimator.classes_ = _classes_from_list(state["classes"])
+    elif issubclass(cls, StandardScaler):
+        estimator.mean_ = np.asarray(state["mean"], dtype=float)
+        estimator.scale_ = np.asarray(state["scale"], dtype=float)
+    return estimator
+
+
+def save_model(estimator, path: str | Path) -> None:
+    """Serialize a fitted estimator to a JSON file."""
+    dump_json(estimator_to_dict(estimator), path)
+
+
+def load_model(path: str | Path):
+    """Load an estimator written by :func:`save_model`."""
+    return estimator_from_dict(load_json(path))

@@ -1,0 +1,21 @@
+"""Offline contention-feature profiling (paper Section 3.2).
+
+The profiler colocates each game with every pressure benchmark over a sweep
+of dial settings, recording the game's degradation (sensitivity curve) and
+the benchmark's slowdown (intensity).  Profiles are collected at two
+resolutions so resolution extrapolation (Observations 6-8) can serve any
+player-requested resolution without further profiling — the property that
+keeps GAugur's offline cost O(N) in the number of games.
+"""
+
+from repro.profiling.completion import complete_profiles, profile_feature_matrix
+from repro.profiling.database import ProfileDatabase
+from repro.profiling.profiler import ContentionProfiler, ProfilerConfig
+
+__all__ = [
+    "ContentionProfiler",
+    "ProfilerConfig",
+    "ProfileDatabase",
+    "complete_profiles",
+    "profile_feature_matrix",
+]

@@ -1,0 +1,152 @@
+"""Collaborative-filtering profile completion (Paragon-style, paper §6).
+
+Profiling one game costs ~R * (k+1) colocation runs.  When the profiled
+population is large, per-game profiles are strongly correlated (genre
+structure), so a new game can be swept against only a *subset* of the
+benchmarks and the rest of its profile recovered by low-rank matrix
+completion over the population — the technique of the paper's references
+[13, 14], which it calls complementary to GAugur.
+
+The completion operates on a games x features matrix whose columns are the
+flattened sensitivity curves plus the per-resolution intensity vectors; a
+game's unobserved resources simply mask out the matching columns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.profiles import GameProfile, SensitivityCurve
+from repro.hardware.resources import NUM_RESOURCES, Resource, ResourceVector
+from repro.ml.factorization import ALSMatrixCompletion
+from repro.profiling.database import ProfileDatabase
+
+__all__ = ["complete_profiles", "profile_feature_matrix"]
+
+
+def _columns_per_profile(db: ProfileDatabase) -> tuple[int, int]:
+    first = db.profiles()[0]
+    samples = len(next(iter(first.sensitivity.values())).pressures)
+    n_resolutions = len(first.profiled_resolutions)
+    return samples, n_resolutions
+
+
+def profile_feature_matrix(db: ProfileDatabase) -> np.ndarray:
+    """(n_games, R*samples + R*n_resolutions) matrix of profile features.
+
+    Layout: resource-major sensitivity samples, then per-resolution
+    intensity blocks (resolutions sorted by pixel count).
+    """
+    samples, n_res = _columns_per_profile(db)
+    rows = []
+    for profile in db:
+        sens = profile.sensitivity_vector()
+        intensity = np.concatenate(
+            [profile.intensity[r].values for r in profile.profiled_resolutions]
+        )
+        rows.append(np.concatenate([sens, intensity]))
+    return np.vstack(rows)
+
+
+def _mask_for(
+    db: ProfileDatabase,
+    observed_resources: Mapping[str, Sequence[Resource]],
+) -> np.ndarray:
+    samples, n_res = _columns_per_profile(db)
+    n_cols = NUM_RESOURCES * samples + n_res * NUM_RESOURCES
+    mask = np.ones((len(db), n_cols), dtype=bool)
+    names = db.names()
+    for i, name in enumerate(names):
+        if name not in observed_resources:
+            continue
+        observed = {Resource(r) for r in observed_resources[name]}
+        for res in Resource:
+            if res in observed:
+                continue
+            start = int(res) * samples
+            mask[i, start : start + samples] = False
+            for block in range(n_res):
+                col = NUM_RESOURCES * samples + block * NUM_RESOURCES + int(res)
+                mask[i, col] = False
+    return mask
+
+
+def complete_profiles(
+    db: ProfileDatabase,
+    observed_resources: Mapping[str, Sequence[Resource]],
+    *,
+    rank: int = 8,
+    reg: float = 0.05,
+    seed: int = 0,
+) -> ProfileDatabase:
+    """Recover unobserved per-resource profiles by matrix completion.
+
+    Parameters
+    ----------
+    db:
+        Database whose listed games are *fully* profiled except for the
+        entries declared partial (their unobserved values are ignored).
+    observed_resources:
+        For each partially profiled game, the resources that actually were
+        swept; all other resources' sensitivity samples and intensities are
+        treated as missing and reconstructed.
+
+    Returns a new database where the partial games carry completed
+    profiles; fully profiled games are passed through untouched.
+    """
+    if not observed_resources:
+        return db
+    for name, resources in observed_resources.items():
+        if name not in db:
+            raise KeyError(f"unknown game {name!r} in observed_resources")
+        if not resources:
+            raise ValueError(f"{name}: at least one resource must be observed")
+
+    samples, n_res = _columns_per_profile(db)
+    M = profile_feature_matrix(db)
+    mask = _mask_for(db, observed_resources)
+    model = ALSMatrixCompletion(rank=rank, reg=reg, seed=seed).fit(M, mask)
+    completed = np.where(mask, M, model.reconstruct())
+
+    out = ProfileDatabase(server_name=db.server_name)
+    for i, profile in enumerate(db):
+        if profile.name not in observed_resources:
+            out.add(profile)
+            continue
+        observed = {Resource(r) for r in observed_resources[profile.name]}
+        sensitivity: dict[Resource, SensitivityCurve] = {}
+        for res in Resource:
+            if res in observed:
+                sensitivity[res] = profile.sensitivity[res]
+                continue
+            start = int(res) * samples
+            values = np.clip(completed[i, start : start + samples], 0.0, 1.5)
+            template = profile.sensitivity[res]
+            sensitivity[res] = SensitivityCurve(
+                resource=res,
+                pressures=template.pressures,
+                degradations=tuple(float(v) for v in values),
+            )
+        intensity = {}
+        resolutions = profile.profiled_resolutions
+        for block, resolution in enumerate(resolutions):
+            vec = profile.intensity[resolution].values.copy()
+            for res in Resource:
+                if res not in observed:
+                    col = NUM_RESOURCES * samples + block * NUM_RESOURCES + int(res)
+                    vec[int(res)] = max(0.0, float(completed[i, col]))
+            intensity[resolution] = ResourceVector(vec)
+        out.add(
+            GameProfile(
+                name=profile.name,
+                sensitivity=sensitivity,
+                solo_fps=dict(profile.solo_fps),
+                intensity=intensity,
+                demand=dict(profile.demand),
+                cpu_mem_gb=profile.cpu_mem_gb,
+                gpu_mem_gb=profile.gpu_mem_gb,
+            )
+        )
+    return out

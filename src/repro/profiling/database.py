@@ -1,0 +1,85 @@
+"""Persistent store of game profiles."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.core.profiles import GameProfile
+from repro.utils.serialization import dump_json, load_json
+
+__all__ = ["ProfileDatabase"]
+
+
+class ProfileDatabase:
+    """Name-indexed collection of :class:`GameProfile` with JSON persistence.
+
+    The database is the artifact of the one-time offline profiling pass;
+    online components (predictors, schedulers) only ever read it.
+    """
+
+    def __init__(self, *, server_name: str = "", config=None):
+        self._profiles: dict[str, GameProfile] = {}
+        self.server_name = server_name
+        self._config = config
+
+    def add(self, profile: GameProfile) -> None:
+        """Insert or replace a game's profile."""
+        self._profiles[profile.name] = profile
+
+    def get(self, name: str) -> GameProfile:
+        """Lookup by game name."""
+        try:
+            return self._profiles[name]
+        except KeyError:
+            raise KeyError(f"no profile for game {name!r}") from None
+
+    def names(self) -> list[str]:
+        """All profiled game names."""
+        return list(self._profiles)
+
+    def profiles(self) -> list[GameProfile]:
+        """All profiles in insertion order."""
+        return list(self._profiles.values())
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._profiles
+
+    def __iter__(self) -> Iterator[GameProfile]:
+        return iter(self._profiles.values())
+
+    def subset(self, names) -> "ProfileDatabase":
+        """Database restricted to ``names``."""
+        sub = ProfileDatabase(server_name=self.server_name, config=self._config)
+        for name in names:
+            sub.add(self.get(name))
+        return sub
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialize to plain types."""
+        return {
+            "server_name": self.server_name,
+            "profiles": [p.to_dict() for p in self.profiles()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProfileDatabase":
+        """Inverse of :meth:`to_dict`."""
+        db = cls(server_name=data.get("server_name", ""))
+        for entry in data["profiles"]:
+            db.add(GameProfile.from_dict(entry))
+        return db
+
+    def save(self, path: str | Path) -> None:
+        """Write the database as JSON."""
+        dump_json(self.to_dict(), path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ProfileDatabase":
+        """Load a database written by :meth:`save`."""
+        return cls.from_dict(load_json(path))

@@ -1,0 +1,279 @@
+"""Dynamic session scheduling: arrivals and departures over time.
+
+The paper's predictor exists to serve an *online* dispatcher: requests
+arrive continuously, sessions end, and migration is off the table once a
+game is placed (Section 1, challenge 1).  This module simulates that
+regime: Poisson arrivals with exponential session durations, a server pool
+that grows on demand and shrinks when servers empty, and pluggable
+placement policies.  Metrics separate the two costs the paper trades off —
+server-hours (utilization) and QoS-violation session-time (experience).
+
+Ground truth for violations comes from the simulator: every distinct
+server composition is measured once (memoized by signature).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.training import ColocationSpec
+from repro.games.catalog import GameCatalog
+from repro.games.resolution import REFERENCE_RESOLUTION, Resolution
+from repro.hardware.server import DEFAULT_SERVER, ServerSpec
+from repro.simulator.measurement import MeasurementConfig, run_colocation
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "Session",
+    "generate_sessions",
+    "DynamicMetrics",
+    "simulate_sessions",
+    "cm_feasible_policy",
+    "vbp_policy",
+    "dedicated_policy",
+]
+
+
+@dataclass(frozen=True)
+class Session:
+    """One play session: a game at a resolution over [arrival, arrival+duration)."""
+
+    game: str
+    resolution: Resolution
+    arrival: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.arrival < 0:
+            raise ValueError("arrival must be >= 0")
+
+
+def generate_sessions(
+    names: Sequence[str],
+    n_sessions: int,
+    *,
+    arrival_rate: float = 2.0,
+    mean_duration: float = 30.0,
+    resolutions: Sequence[Resolution] | None = None,
+    seed: int = 0,
+) -> list[Session]:
+    """Poisson arrivals (rate per minute) with exponential durations (minutes)."""
+    if n_sessions < 1:
+        raise ValueError("n_sessions must be >= 1")
+    if arrival_rate <= 0 or mean_duration <= 0:
+        raise ValueError("arrival_rate and mean_duration must be positive")
+    names = list(names)
+    pool = list(resolutions) if resolutions else [REFERENCE_RESOLUTION]
+    rng = spawn_rng(seed, "sessions")
+    t = 0.0
+    sessions = []
+    for _ in range(n_sessions):
+        t += float(rng.exponential(1.0 / arrival_rate))
+        sessions.append(
+            Session(
+                game=names[int(rng.integers(len(names)))],
+                resolution=pool[int(rng.integers(len(pool)))],
+                arrival=t,
+                duration=float(rng.exponential(mean_duration)),
+            )
+        )
+    return sessions
+
+
+# ----------------------------------------------------------------------
+# Placement policies: (current server signatures, session) -> server index
+# or None to open a fresh server.  A "signature" is the sorted entry tuple.
+
+Signature = tuple[tuple[str, Resolution], ...]
+Policy = Callable[[list[Signature], Session], int | None]
+
+
+def cm_feasible_policy(
+    predictor, qos: float, *, max_colocation: int = 4, margin: float = 1.0
+) -> Policy:
+    """Pack onto the fullest existing server the CM predicts stays feasible.
+
+    ``margin`` scales the floor the CM is queried with: a value of 1.1
+    demands 10% headroom above the player-facing QoS, trading some
+    consolidation for fewer violations when the CM's boundary is noisy —
+    the knob the Section 7 discussion implies for production deployments.
+    """
+    if margin < 1.0:
+        raise ValueError("margin must be >= 1.0")
+    verdict_cache: dict[Signature, bool] = {}
+
+    def feasible(sig: Signature) -> bool:
+        if sig not in verdict_cache:
+            verdict_cache[sig] = predictor.colocation_feasible(
+                ColocationSpec(sig), qos * margin
+            )
+        return verdict_cache[sig]
+
+    def place(servers: list[Signature], session: Session) -> int | None:
+        best, best_size = None, -1
+        entry = (session.game, session.resolution)
+        for idx, sig in enumerate(servers):
+            if len(sig) >= max_colocation:
+                continue
+            candidate = tuple(sorted(sig + (entry,)))
+            if feasible(candidate) and len(sig) > best_size:
+                best, best_size = idx, len(sig)
+        return best
+
+    return place
+
+
+def vbp_policy(vbp, *, max_colocation: int = 4) -> Policy:
+    """First fit by summed demand vectors (the VBP baseline, Section 2.2)."""
+
+    def place(servers: list[Signature], session: Session) -> int | None:
+        for idx, sig in enumerate(servers):
+            if len(sig) >= max_colocation:
+                continue
+            spec = ColocationSpec(sig) if sig else None
+            if vbp.fits_after_adding(spec, session.game, session.resolution):
+                return idx
+        return None
+
+    return place
+
+
+def dedicated_policy() -> Policy:
+    """No colocation: every session gets its own server."""
+
+    def place(servers: list[Signature], session: Session) -> int | None:
+        return None
+
+    return place
+
+
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DynamicMetrics:
+    """Outcome of a dynamic simulation."""
+
+    n_sessions: int
+    server_minutes: float
+    dedicated_server_minutes: float
+    peak_servers: int
+    violation_minutes: float
+    session_minutes: float
+
+    @property
+    def utilization_gain(self) -> float:
+        """Server-time saved vs dedicated provisioning."""
+        if self.dedicated_server_minutes == 0:
+            return 0.0
+        return 1.0 - self.server_minutes / self.dedicated_server_minutes
+
+    @property
+    def violation_fraction(self) -> float:
+        """Fraction of total session-time spent below the QoS floor."""
+        return (
+            self.violation_minutes / self.session_minutes
+            if self.session_minutes
+            else 0.0
+        )
+
+
+def simulate_sessions(
+    catalog: GameCatalog,
+    sessions: Sequence[Session],
+    policy: Policy,
+    *,
+    qos: float = 60.0,
+    server: ServerSpec = DEFAULT_SERVER,
+    config: MeasurementConfig | None = None,
+) -> DynamicMetrics:
+    """Event-driven simulation of a placement policy over a session trace.
+
+    Violation time is charged per session for every interval during which
+    the *measured* frame rate of its server's composition is below ``qos``.
+    """
+    sessions = sorted(sessions, key=lambda s: s.arrival)
+    fps_cache: dict[Signature, tuple[float, ...]] = {}
+
+    def measured_fps(sig: Signature) -> tuple[float, ...]:
+        if sig not in fps_cache:
+            result = run_colocation(
+                ColocationSpec(sig).instances(catalog), server=server, config=config
+            )
+            fps_cache[sig] = result.fps
+        return fps_cache[sig]
+
+    servers: dict[int, list[Session]] = {}
+    next_server_id = 0
+    departures: list[tuple[float, int, int]] = []  # (time, seq, server_id)
+    seq = 0
+
+    server_minutes = 0.0
+    violation_minutes = 0.0
+    peak = 0
+    last_time = 0.0
+
+    def signature(members: list[Session]) -> Signature:
+        return tuple(sorted((s.game, s.resolution) for s in members))
+
+    def accrue(until: float) -> None:
+        nonlocal server_minutes, violation_minutes, last_time
+        dt = until - last_time
+        if dt > 0:
+            server_minutes += dt * len(servers)
+            for members in servers.values():
+                fps = measured_fps(signature(members))
+                violation_minutes += dt * sum(1 for f in fps if f < qos)
+        last_time = until
+
+    def pop_departures(until: float) -> None:
+        nonlocal peak
+        while departures and departures[0][0] <= until:
+            t, _, server_id = heapq.heappop(departures)
+            accrue(t)
+            members = servers.get(server_id)
+            if members is None:
+                continue
+            members.pop(0)
+            if not members:
+                del servers[server_id]
+
+    for session in sessions:
+        pop_departures(session.arrival)
+        accrue(session.arrival)
+        sigs = [signature(m) for m in servers.values()]
+        ids = list(servers.keys())
+        choice = policy(sigs, session)
+        if choice is None:
+            server_id = next_server_id
+            next_server_id += 1
+            servers[server_id] = [session]
+        else:
+            server_id = ids[choice]
+            servers[server_id].append(session)
+            # Keep departure order: earliest-ending first.
+            servers[server_id].sort(key=lambda s: s.arrival + s.duration)
+        heapq.heappush(
+            departures, (session.arrival + session.duration, seq, server_id)
+        )
+        seq += 1
+        peak = max(peak, len(servers))
+
+    end = max(s.arrival + s.duration for s in sessions)
+    pop_departures(end)
+    accrue(end)
+
+    return DynamicMetrics(
+        n_sessions=len(sessions),
+        server_minutes=server_minutes,
+        dedicated_server_minutes=sum(s.duration for s in sessions),
+        peak_servers=peak,
+        violation_minutes=violation_minutes,
+        session_minutes=sum(s.duration for s in sessions),
+    )

@@ -1,0 +1,120 @@
+"""Feasible-colocation enumeration and judgement scoring (Section 5.1).
+
+The paper's complete verification takes 10 games and all their colocations
+of size < 5 (385 including singletons), measures the ground truth on the
+testbed, and scores each methodology's judgements as TP/FP/FN/TN with
+accuracy, precision and recall.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.training import ColocationSpec
+from repro.games.catalog import GameCatalog
+from repro.games.resolution import REFERENCE_RESOLUTION, Resolution
+from repro.hardware.server import DEFAULT_SERVER, ServerSpec
+from repro.simulator.measurement import MeasurementConfig, run_colocation
+
+__all__ = [
+    "enumerate_colocations",
+    "actual_feasibility",
+    "judge_feasibility",
+    "score_judgements",
+    "FeasibilityReport",
+]
+
+
+def enumerate_colocations(
+    names: Sequence[str],
+    *,
+    max_size: int = 4,
+    resolution: Resolution = REFERENCE_RESOLUTION,
+) -> list[ColocationSpec]:
+    """All colocations of sizes 1..max_size over ``names`` (paper: 385 for 10)."""
+    if max_size < 1:
+        raise ValueError("max_size must be >= 1")
+    names = list(names)
+    colocations = []
+    for size in range(1, max_size + 1):
+        for combo in itertools.combinations(names, size):
+            colocations.append(
+                ColocationSpec(tuple((name, resolution) for name in combo))
+            )
+    return colocations
+
+
+def actual_feasibility(
+    catalog: GameCatalog,
+    colocations: Sequence[ColocationSpec],
+    qos: float,
+    *,
+    server: ServerSpec = DEFAULT_SERVER,
+    config: MeasurementConfig | None = None,
+) -> np.ndarray:
+    """Ground-truth verdict per colocation: every game meets ``qos`` FPS."""
+    verdicts = []
+    for spec in colocations:
+        result = run_colocation(spec.instances(catalog), server=server, config=config)
+        verdicts.append(bool(np.all(np.asarray(result.fps) >= qos)))
+    return np.asarray(verdicts, dtype=bool)
+
+
+def judge_feasibility(
+    judge: Callable[[ColocationSpec, float], bool] | object,
+    colocations: Sequence[ColocationSpec],
+    qos: float,
+) -> np.ndarray:
+    """Apply a methodology's ``colocation_feasible(spec, qos)`` to each colocation."""
+    fn = judge if callable(judge) else judge.colocation_feasible
+    return np.asarray([bool(fn(spec, qos)) for spec in colocations], dtype=bool)
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Confusion counts and derived scores for one methodology."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def total(self) -> int:
+        """Number of judged colocations."""
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct judgements."""
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def precision(self) -> float:
+        """Fraction of predicted-feasible that are actually feasible."""
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of actually feasible colocations identified."""
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+
+def score_judgements(actual: np.ndarray, judged: np.ndarray) -> FeasibilityReport:
+    """Confusion report of a methodology's verdicts against ground truth."""
+    actual = np.asarray(actual, dtype=bool)
+    judged = np.asarray(judged, dtype=bool)
+    if actual.shape != judged.shape:
+        raise ValueError("actual and judged verdicts must align")
+    return FeasibilityReport(
+        tp=int(np.sum(actual & judged)),
+        fp=int(np.sum(~actual & judged)),
+        fn=int(np.sum(actual & ~judged)),
+        tn=int(np.sum(~actual & ~judged)),
+    )

@@ -1,0 +1,78 @@
+"""Fleet-level outcome metrics for placement evaluations.
+
+Summaries shared by the Section 5 experiments and anyone comparing
+placement policies: QoS statistics over per-request frame rates, Jain's
+fairness index (a skewed FPS distribution means some players subsidize
+others), and a one-call summary bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FleetSummary", "jain_fairness", "qos_satisfaction", "summarize_fleet"]
+
+
+def jain_fairness(values) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)`` in (0, 1].
+
+    1.0 means perfectly equal allocations; ``1/n`` means one player gets
+    everything.
+    """
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        raise ValueError("jain_fairness requires non-empty values")
+    if np.any(x < 0):
+        raise ValueError("jain_fairness requires non-negative values")
+    denom = x.size * float(np.sum(x * x))
+    if denom == 0.0:
+        return 1.0  # all-zero allocations are (degenerately) equal
+    return float(np.sum(x)) ** 2 / denom
+
+
+def qos_satisfaction(fps, qos: float) -> float:
+    """Fraction of requests at or above the QoS floor."""
+    fps = np.asarray(fps, dtype=float)
+    if fps.size == 0:
+        raise ValueError("qos_satisfaction requires non-empty fps")
+    return float(np.mean(fps >= qos))
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Outcome summary of one placement."""
+
+    n_requests: int
+    mean_fps: float
+    p5_fps: float
+    median_fps: float
+    qos_satisfaction: float
+    fairness: float
+
+    def as_row(self) -> list:
+        """Values in table order (for :mod:`repro.experiments.tables`)."""
+        return [
+            self.n_requests,
+            self.mean_fps,
+            self.p5_fps,
+            self.median_fps,
+            self.qos_satisfaction,
+            self.fairness,
+        ]
+
+
+def summarize_fleet(fps, qos: float = 60.0) -> FleetSummary:
+    """Summarize per-request frame rates of a placement."""
+    fps = np.asarray(fps, dtype=float)
+    if fps.size == 0:
+        raise ValueError("summarize_fleet requires non-empty fps")
+    return FleetSummary(
+        n_requests=int(fps.size),
+        mean_fps=float(fps.mean()),
+        p5_fps=float(np.percentile(fps, 5)),
+        median_fps=float(np.median(fps)),
+        qos_satisfaction=qos_satisfaction(fps, qos),
+        fairness=jain_fairness(fps),
+    )

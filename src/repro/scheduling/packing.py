@@ -1,0 +1,69 @@
+"""Algorithm 1: interference-aware request packing (Section 5.1).
+
+Greedy set cover over the feasible colocations a methodology identified:
+repeatedly take the largest remaining feasible colocation; while every one
+of its games still has unassigned requests, dedicate a server to one
+request of each; otherwise discard the colocation.  Requests whose games
+appear in no remaining feasible colocation fall back to dedicated servers.
+The paper notes this greedy is ln(k)-approximate versus optimal packing.
+
+Only *actually* feasible colocations among those the methodology judged
+feasible are used (the paper excludes false positives from packing, since
+deploying them would violate QoS — their cost shows up instead in the
+precision metric of Figure 9).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.training import ColocationSpec
+from repro.scheduling.requests import GameRequest
+
+__all__ = ["PackingResult", "pack_requests"]
+
+
+@dataclass
+class PackingResult:
+    """Outcome of packing a request stream."""
+
+    servers: list[ColocationSpec] = field(default_factory=list)
+
+    @property
+    def n_servers(self) -> int:
+        """Number of servers allocated."""
+        return len(self.servers)
+
+    def size_histogram(self) -> dict[int, int]:
+        """Count of servers per colocation size."""
+        hist: Counter[int] = Counter(spec.size for spec in self.servers)
+        return dict(sorted(hist.items()))
+
+
+def pack_requests(
+    requests: Sequence[GameRequest],
+    feasible: Sequence[ColocationSpec],
+) -> PackingResult:
+    """Pack ``requests`` using Algorithm 1 over ``feasible`` colocations.
+
+    All requests and feasible colocations must share one resolution per
+    game name (the Section 5.1 setting); remaining requests run alone.
+    """
+    remaining = Counter((r.game, r.resolution) for r in requests)
+    # Largest first; deterministic tie-break by the colocation's names.
+    pool = sorted(feasible, key=lambda c: (-c.size, c.names))
+    result = PackingResult()
+
+    for spec in pool:
+        keys = list(spec.entries)
+        while all(remaining[key] > 0 for key in keys):
+            for key in keys:
+                remaining[key] -= 1
+            result.servers.append(spec)
+
+    for (game, resolution), count in sorted(remaining.items()):
+        for _ in range(count):
+            result.servers.append(ColocationSpec(((game, resolution),)))
+    return result

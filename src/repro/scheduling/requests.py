@@ -1,0 +1,48 @@
+"""Gaming request streams."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.games.resolution import REFERENCE_RESOLUTION, Resolution
+from repro.utils.rng import spawn_rng
+
+__all__ = ["GameRequest", "generate_requests"]
+
+
+@dataclass(frozen=True)
+class GameRequest:
+    """One player's request: a game at a resolution."""
+
+    game: str
+    resolution: Resolution = REFERENCE_RESOLUTION
+
+
+def generate_requests(
+    names: Sequence[str],
+    n_requests: int,
+    *,
+    resolutions: Sequence[Resolution] | None = None,
+    seed: int = 0,
+) -> list[GameRequest]:
+    """Uniformly random requests over ``names`` (paper Section 5 workload).
+
+    ``resolutions`` defaults to a single fixed resolution (1080p), matching
+    the Section 5 experiments; pass the preset list to exercise mixed
+    resolutions.
+    """
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    names = list(names)
+    if not names:
+        raise ValueError("names must be non-empty")
+    pool = list(resolutions) if resolutions else [REFERENCE_RESOLUTION]
+    rng = spawn_rng(seed, "requests")
+    return [
+        GameRequest(
+            game=names[int(rng.integers(len(names)))],
+            resolution=pool[int(rng.integers(len(pool)))],
+        )
+        for _ in range(n_requests)
+    ]

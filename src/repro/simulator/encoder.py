@@ -1,0 +1,88 @@
+"""Hardware video encoding and processing delay (paper Section 7).
+
+Cloud-gaming servers encode rendered frames and stream them to clients.
+Modern GPUs carry dedicated encoder silicon (NVENC on the paper's GTX
+1060), so encoding consumes little shared compute — the paper argues this
+is why frame-rate prediction can ignore it — but the *processing delay*
+a player feels is frame time + capture/encode time, and the encode path
+does contend mildly for GPU memory bandwidth and PCIe (frame readback).
+
+The paper's Section 7 notes that processing delay "can be predicted in a
+similar way using our methodology"; :mod:`repro.core.delay` does exactly
+that on top of this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.games.resolution import Resolution
+from repro.hardware.resources import Resource
+from repro.simulator.measurement import ColocationResult
+from repro.simulator.workload import GameInstance
+
+__all__ = ["EncoderModel", "processing_delays"]
+
+
+@dataclass(frozen=True)
+class EncoderModel:
+    """Dedicated-silicon video encoder (NVENC-class).
+
+    Parameters
+    ----------
+    fixed_ms, per_mpix_ms:
+        Uncontended per-frame capture+encode cost: a fixed pipeline setup
+        part plus a pixel-proportional part.
+    gpu_bw_sensitivity, pcie_sensitivity:
+        Encode-time inflation per unit of pressure on GPU memory bandwidth
+        (frame surface reads) and PCIe (bitstream/readback traffic).  Both
+        are small: the encoder has its own execution units but shares the
+        memory paths.
+    """
+
+    fixed_ms: float = 1.0
+    per_mpix_ms: float = 1.1
+    gpu_bw_sensitivity: float = 0.30
+    pcie_sensitivity: float = 0.20
+
+    def __post_init__(self) -> None:
+        for name in ("fixed_ms", "per_mpix_ms", "gpu_bw_sensitivity", "pcie_sensitivity"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def solo_encode_time_ms(self, resolution: Resolution) -> float:
+        """Uncontended capture+encode time per frame."""
+        return self.fixed_ms + self.per_mpix_ms * resolution.megapixels
+
+    def encode_time_ms(self, resolution: Resolution, pressures: np.ndarray) -> float:
+        """Encode time under a ``(7,)`` shared-resource pressure vector."""
+        pressures = np.asarray(pressures, dtype=float)
+        inflation = (
+            1.0
+            + self.gpu_bw_sensitivity * float(pressures[int(Resource.GPU_BW)])
+            + self.pcie_sensitivity * float(pressures[int(Resource.PCIE_BW)])
+        )
+        return self.solo_encode_time_ms(resolution) * inflation
+
+
+def processing_delays(
+    result: ColocationResult, encoder: EncoderModel | None = None
+) -> np.ndarray:
+    """Per-workload processing delay (ms) for a measured colocation.
+
+    Processing delay = mean frame time (from the measured frame rate) +
+    contention-inflated capture/encode time.  Benchmarks get NaN.
+    """
+    encoder = encoder if encoder is not None else EncoderModel()
+    delays = np.full(len(result.workloads), np.nan, dtype=float)
+    for i, workload in enumerate(result.workloads):
+        if not isinstance(workload, GameInstance):
+            continue
+        frame_ms = 1000.0 / result.fps[i]
+        encode_ms = encoder.encode_time_ms(
+            workload.resolution, result.state.pressures[i]
+        )
+        delays[i] = frame_ms + encode_ms
+    return delays

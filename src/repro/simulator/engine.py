@@ -1,0 +1,209 @@
+"""Steady-state contention resolution for a colocated workload set.
+
+Colocation performance is a fixed point: contention slows each game, a
+slowed game issues less compute/bandwidth traffic, which in turn lowers the
+pressure its co-runners feel.  The engine iterates this feedback loop with
+damping until the per-game rate factors converge, then reports per-workload
+pressures, stage inflations, frame times and benchmark slowdowns.
+
+This rate feedback — combined with the non-additive combinators in
+:mod:`repro.hardware.contention` — is what makes aggregate intensity differ
+from the sum of individual intensities (the paper's Observation 5 and
+Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.contention import ContentionModel
+from repro.hardware.resources import NUM_RESOURCES, Resource
+from repro.hardware.server import DEFAULT_SERVER, ServerSpec
+from repro.simulator.workload import (
+    RATE_SCALED_MASK,
+    BenchmarkInstance,
+    GameInstance,
+    Workload,
+)
+
+__all__ = ["SteadyState", "ColocationEngine"]
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """Converged contention state for one colocation.
+
+    Attributes
+    ----------
+    pressures:
+        ``(n, 7)`` — aggregate pressure each workload suffers per resource.
+    rate_factors:
+        ``(n,)`` — achieved/solo frame-rate ratio (1.0 for benchmarks).
+    stage_inflations:
+        ``(n, 3)`` — CPU/GPU/link stage multipliers (1.0 rows for benchmarks).
+    frame_times_ms:
+        ``(n,)`` — steady-state mean frame time (NaN for benchmarks).
+    slowdowns:
+        ``(n,)`` — benchmark completion-time inflation (NaN for games).
+    converged:
+        Whether the fixed point met tolerance within the iteration budget.
+    iterations:
+        Fixed-point iterations performed.
+    """
+
+    pressures: np.ndarray
+    rate_factors: np.ndarray
+    stage_inflations: np.ndarray
+    frame_times_ms: np.ndarray
+    slowdowns: np.ndarray
+    converged: bool
+    iterations: int
+
+
+class ColocationEngine:
+    """Resolves contention among colocated workloads on one server.
+
+    Parameters
+    ----------
+    server:
+        Server capacity spec; utilizations and stage times are rescaled
+        from the reference server.
+    contention:
+        Per-resource aggregation combinators.
+    max_iterations, tolerance, damping:
+        Fixed-point controls.  Damping of 0.5 is ample for the monotone
+        maps involved; tests assert convergence across random colocations.
+    thrash_penalty:
+        Frame-time multiplier slope applied when total memory demand
+        exceeds server capacity (the paper excludes memory from contention
+        features precisely because it is a cliff, not a gradient).
+    rate_feedback:
+        How strongly a slowed game's exerted compute/bandwidth pressure
+        shrinks with its achieved frame rate: the effective utilization
+        scale is ``(1 - rate_feedback) + rate_feedback * rate``.  Real
+        games keep issuing background work (streaming, simulation ticks,
+        prefetch) even when rendering slowly, so the feedback is partial.
+    """
+
+    def __init__(
+        self,
+        server: ServerSpec = DEFAULT_SERVER,
+        contention: ContentionModel | None = None,
+        *,
+        max_iterations: int = 60,
+        tolerance: float = 1e-7,
+        damping: float = 0.5,
+        thrash_penalty: float = 4.0,
+        rate_feedback: float = 0.5,
+    ):
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if not (0.0 < damping <= 1.0):
+            raise ValueError("damping must lie in (0, 1]")
+        self.server = server
+        self.contention = contention if contention is not None else ContentionModel()
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+        self.damping = float(damping)
+        self.thrash_penalty = float(thrash_penalty)
+        if not (0.0 <= rate_feedback <= 1.0):
+            raise ValueError("rate_feedback must lie in [0, 1]")
+        self.rate_feedback = float(rate_feedback)
+
+    # ------------------------------------------------------------------
+
+    def _memory_thrash_factor(self, workloads: list[Workload]) -> float:
+        """Frame-time multiplier from memory oversubscription (1.0 if none)."""
+        cpu_gb = gpu_gb = 0.0
+        for w in workloads:
+            if isinstance(w, GameInstance):
+                c, g = w.memory_demand()
+                cpu_gb += c
+                gpu_gb += g
+        over = max(
+            0.0,
+            (cpu_gb - self.server.cpu_mem_gb) / self.server.cpu_mem_gb,
+            (gpu_gb - self.server.gpu_mem_gb) / self.server.gpu_mem_gb,
+        )
+        return 1.0 + self.thrash_penalty * over
+
+    def steady_state(self, workloads: list[Workload]) -> SteadyState:
+        """Resolve the colocation to a contention fixed point."""
+        n = len(workloads)
+        if n == 0:
+            raise ValueError("steady_state requires at least one workload")
+
+        # Base utilizations normalized to this server's capacities.
+        base_util = np.zeros((n, NUM_RESOURCES), dtype=float)
+        scales = np.array(
+            [self.server.domain_scale(res) for res in Resource], dtype=float
+        )
+        for i, w in enumerate(workloads):
+            base_util[i] = np.clip(w.base_utilization() / scales, 0.0, 1.0)
+
+        is_game = np.array([w.is_game for w in workloads], dtype=bool)
+        thrash = self._memory_thrash_factor(workloads)
+
+        # Stage times on this server (faster hardware shrinks stages).
+        stage_times = np.zeros((n, 3), dtype=float)
+        solo_frame = np.zeros(n, dtype=float)
+        for i, w in enumerate(workloads):
+            if isinstance(w, GameInstance):
+                tc, tg, tx = w.stage_times_ms()
+                stage_times[i] = (
+                    tc / self.server.cpu_scale,
+                    tg / self.server.gpu_scale,
+                    tx / self.server.link_scale,
+                )
+                solo_frame[i] = max(stage_times[i, 0], stage_times[i, 1]) + stage_times[i, 2]
+
+        rate = np.ones(n, dtype=float)
+        pressures = np.zeros((n, NUM_RESOURCES), dtype=float)
+        inflations = np.ones((n, 3), dtype=float)
+        frame_times = np.full(n, np.nan, dtype=float)
+        converged = False
+        iteration = 0
+
+        for iteration in range(1, self.max_iterations + 1):
+            eff_util = base_util.copy()
+            fb = self.rate_feedback
+            scale_rows = np.where(is_game, (1.0 - fb) + fb * rate, 1.0)[:, None]
+            eff_util[:, RATE_SCALED_MASK] *= scale_rows
+
+            pressures = self.contention.pressures_leave_one_out(eff_util)
+
+            new_rate = rate.copy()
+            for i, w in enumerate(workloads):
+                if not isinstance(w, GameInstance):
+                    continue
+                ic, ig, il = w.spec.stage_inflations(pressures[i])
+                inflations[i] = (ic, ig, il)
+                tf = (
+                    max(stage_times[i, 0] * ic, stage_times[i, 1] * ig)
+                    + stage_times[i, 2] * il
+                ) * thrash
+                frame_times[i] = tf
+                new_rate[i] = solo_frame[i] / tf
+
+            delta = float(np.max(np.abs(new_rate - rate))) if n else 0.0
+            rate = (1.0 - self.damping) * rate + self.damping * new_rate
+            if delta < self.tolerance:
+                converged = True
+                break
+
+        slowdowns = np.full(n, np.nan, dtype=float)
+        for i, w in enumerate(workloads):
+            if isinstance(w, BenchmarkInstance):
+                slowdowns[i] = w.bench.slowdown(pressures[i])
+
+        return SteadyState(
+            pressures=pressures,
+            rate_factors=np.where(is_game, rate, 1.0),
+            stage_inflations=inflations,
+            frame_times_ms=frame_times,
+            slowdowns=slowdowns,
+            converged=converged,
+            iterations=iteration,
+        )

@@ -1,0 +1,97 @@
+"""Workload instances placed on a simulated server.
+
+Two kinds of workload exist: a :class:`GameInstance` (a game at a player-
+chosen resolution) and a :class:`BenchmarkInstance` (a pressure benchmark at
+a dial setting).  The engine treats them uniformly through base utilization
+vectors, but only games *rate-scale*: a game slowed by contention renders
+fewer frames per second and therefore exerts proportionally less compute and
+bandwidth pressure (cache footprints do not shrink).  Benchmarks hold their
+calibrated pressure regardless of contention, as the paper's calibration
+procedure guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.base import PressureBenchmark
+from repro.games.game import GameSpec
+from repro.games.resolution import REFERENCE_RESOLUTION, Resolution
+from repro.hardware.resources import Resource, ResourceKind
+
+__all__ = ["Workload", "GameInstance", "BenchmarkInstance", "RATE_SCALED_MASK"]
+
+#: Boolean mask over resources whose exerted pressure scales with achieved
+#: frame rate (compute and bandwidth, not cache footprints).
+RATE_SCALED_MASK = np.array(
+    [Resource(r).kind is not ResourceKind.CACHE for r in Resource], dtype=bool
+)
+
+
+@dataclass(frozen=True)
+class GameInstance:
+    """A game running at a specific resolution."""
+
+    spec: GameSpec
+    resolution: Resolution = REFERENCE_RESOLUTION
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.name}@{self.resolution}"
+
+    @property
+    def is_game(self) -> bool:
+        return True
+
+    def base_utilization(self) -> np.ndarray:
+        """Solo-run utilization vector at this resolution (reference server)."""
+        return self.spec.utilization(self.resolution).values.copy()
+
+    def stage_times_ms(self) -> tuple[float, float, float]:
+        """(CPU, GPU, transfer) per-frame stage times at unit complexity."""
+        return (
+            self.spec.cpu_time_ms,
+            self.spec.gpu_time_ms(self.resolution),
+            self.spec.xfer_time_ms(self.resolution),
+        )
+
+    def solo_frame_time_ms(self) -> float:
+        """Uncontended frame time at unit complexity."""
+        return self.spec.solo_frame_time_ms(self.resolution)
+
+    def memory_demand(self) -> tuple[float, float]:
+        """(CPU GB, GPU GB) demand."""
+        return self.spec.memory_demand(self.resolution)
+
+    def identity(self) -> tuple:
+        """Stable identity for seed derivation."""
+        return ("game", self.spec.name, self.resolution.width, self.resolution.height)
+
+
+@dataclass(frozen=True)
+class BenchmarkInstance:
+    """A pressure benchmark at a dial setting."""
+
+    bench: PressureBenchmark
+
+    @property
+    def name(self) -> str:
+        return self.bench.name
+
+    @property
+    def is_game(self) -> bool:
+        return False
+
+    def base_utilization(self) -> np.ndarray:
+        """Calibrated utilization (pinned; benchmarks do not rate-scale)."""
+        return self.bench.utilization().values.copy()
+
+    def identity(self) -> tuple:
+        """Stable identity for seed derivation."""
+        return ("bench", int(self.bench.resource), round(self.bench.pressure, 6))
+
+
+#: Union type for engine inputs.
+Workload = GameInstance | BenchmarkInstance

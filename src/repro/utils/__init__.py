@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic RNG streams, validation, serialization."""
+
+from repro.utils.rng import derive_seed, spawn_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_positive,
+    check_probability_vector,
+)
+
+__all__ = [
+    "derive_seed",
+    "spawn_rng",
+    "check_fraction",
+    "check_in_range",
+    "check_positive",
+    "check_probability_vector",
+]

@@ -1,0 +1,55 @@
+"""Lightweight argument-validation helpers used across the package."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_fraction",
+    "check_in_range",
+    "check_positive",
+    "check_probability_vector",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is finite and strictly positive."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0 or value > 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float, low: float, high: float, name: str, *, inclusive: bool = True
+) -> float:
+    """Validate that ``value`` lies in ``[low, high]`` (or ``(low, high)``)."""
+    value = float(value)
+    ok = (low <= value <= high) if inclusive else (low < value < high)
+    if not np.isfinite(value) or not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must lie in {bracket[0]}{low}, {high}{bracket[1]}, got {value!r}"
+        )
+    return value
+
+
+def check_probability_vector(values, name: str) -> np.ndarray:
+    """Validate a non-negative vector summing to 1 (within tolerance)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"{name} must be a non-empty 1-D array")
+    if np.any(arr < 0) or not np.isfinite(arr).all():
+        raise ValueError(f"{name} must be non-negative and finite")
+    total = float(arr.sum())
+    if abs(total - 1.0) > 1e-8:
+        raise ValueError(f"{name} must sum to 1, got {total}")
+    return arr

@@ -1,0 +1,34 @@
+"""Shared fixtures: a session-scoped miniature lab and catalog.
+
+The "minilab" runs the full pipeline (profiling -> measurement -> training)
+at reduced scale so integration-level tests stay fast; its expensive
+artifacts are built lazily and shared across the whole session.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.lab import Lab, LabConfig
+from repro.games import build_catalog
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The deterministic 100-game catalog."""
+    return build_catalog()
+
+
+@pytest.fixture(scope="session")
+def minilab(tmp_path_factory):
+    """A small but complete experimental lab (8 games, 64 colocations)."""
+    cache = tmp_path_factory.mktemp("repro-cache")
+    os.environ["REPRO_CACHE_DIR"] = str(cache)
+    config = LabConfig(
+        n_games=8,
+        colocation_sizes=((2, 40), (3, 12), (4, 12)),
+        n_train_colocations=40,
+    )
+    return Lab(config)

@@ -1,0 +1,77 @@
+"""Tests for the Sigmoid baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SigmoidPredictor
+from repro.core.training import ColocationSpec
+from repro.games.resolution import Resolution
+
+R1080 = Resolution(1920, 1080)
+
+
+@pytest.fixture(scope="module")
+def fitted(minilab):
+    return SigmoidPredictor(minilab.db).fit(minilab.measured_train)
+
+
+class TestFit:
+    def test_fits_parameters_for_seen_games(self, minilab, fitted):
+        seen = {n for m in minilab.measured_train for n in m.spec.names}
+        # Most games with enough observations get their own parameters.
+        assert len(fitted._params) >= len(seen) // 2
+
+    def test_fallback_exists(self, fitted):
+        assert fitted._fallback is not None
+
+    def test_unseen_game_uses_fallback(self, minilab, fitted):
+        spec = ColocationSpec(
+            (("CompletelyUnknown", R1080), ("AlsoUnknown", R1080))
+        )
+        degr = fitted.predict_degradations(spec)
+        assert degr.shape == (2,)
+        assert np.all((degr > 0) & (degr <= 1.5))
+
+
+class TestPredict:
+    def test_partner_blindness(self, minilab, fitted):
+        """The defining flaw: predictions ignore WHO the partners are."""
+        names = minilab.names
+        a = ColocationSpec(((names[0], R1080), (names[1], R1080)))
+        b = ColocationSpec(((names[0], R1080), (names[2], R1080)))
+        assert fitted.predict_degradations(a)[0] == fitted.predict_degradations(b)[0]
+
+    def test_degradation_monotone_in_size(self, minilab, fitted):
+        names = minilab.names
+        degr = []
+        for k in (2, 3, 4):
+            spec = ColocationSpec(tuple((n, R1080) for n in names[:k]))
+            degr.append(fitted.predict_degradations(spec)[0])
+        assert degr[0] >= degr[1] >= degr[2]
+
+    def test_fps_scales_with_solo(self, minilab, fitted):
+        names = minilab.names
+        spec = ColocationSpec(((names[0], R1080), (names[1], R1080)))
+        fps = fitted.predict_fps(spec)
+        solo = minilab.db.get(names[0]).solo_fps_at(R1080)
+        degr = fitted.predict_degradations(spec)
+        assert fps[0] == pytest.approx(degr[0] * solo)
+
+    def test_feasibility_thresholds_fps(self, minilab, fitted):
+        names = minilab.names
+        spec = ColocationSpec(((names[0], R1080), (names[1], R1080)))
+        fps = fitted.predict_fps(spec)
+        verdicts = fitted.predict_feasible(spec, qos=60.0)
+        assert np.array_equal(verdicts, fps >= 60.0)
+        assert fitted.colocation_feasible(spec, 60.0) == bool(np.all(verdicts))
+
+    def test_reasonable_accuracy_on_training_domain(self, minilab, fitted):
+        """Sanity: the baseline is a real model, not a strawman."""
+        errors = []
+        for m in minilab.measured_test:
+            degr = fitted.predict_degradations(m.spec)
+            for i, (name, res) in enumerate(m.spec.entries):
+                solo = minilab.db.get(name).solo_fps_at(res)
+                actual = m.fps[i] / solo
+                errors.append(abs(degr[i] - actual) / actual)
+        assert np.mean(errors) < 0.5

@@ -1,0 +1,79 @@
+"""Tests for the SMiTe baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SMiTePredictor
+from repro.core.training import ColocationSpec
+from repro.games.resolution import Resolution
+from repro.hardware.resources import NUM_RESOURCES
+
+R1080 = Resolution(1920, 1080)
+
+
+@pytest.fixture(scope="module")
+def fitted(minilab):
+    return SMiTePredictor(minilab.db).fit(minilab.measured_train)
+
+
+class TestFit:
+    def test_learns_coefficients(self, fitted):
+        assert fitted.coef_.shape == (NUM_RESOURCES,)
+        assert np.isfinite(fitted.coef_).all()
+        assert np.isfinite(fitted.intercept_)
+
+    def test_unfitted_predict_raises(self, minilab):
+        model = SMiTePredictor(minilab.db)
+        spec = ColocationSpec(
+            ((minilab.names[0], R1080), (minilab.names[1], R1080))
+        )
+        with pytest.raises(RuntimeError, match="fit"):
+            model.predict_degradations(spec)
+
+    def test_fit_requires_multi_game_measurements(self, minilab):
+        with pytest.raises(ValueError):
+            SMiTePredictor(minilab.db).fit([])
+
+
+class TestPredict:
+    def test_partner_aware_unlike_sigmoid(self, minilab, fitted):
+        names = minilab.names
+        a = ColocationSpec(((names[0], R1080), (names[1], R1080)))
+        b = ColocationSpec(((names[0], R1080), (names[2], R1080)))
+        # Different partners => different intensity sums => different output.
+        assert fitted.predict_degradations(a)[0] != fitted.predict_degradations(b)[0]
+
+    def test_additivity_assumption(self, minilab, fitted):
+        """Eq. 9: the features for A vs {B,C} use I_B + I_C exactly."""
+        names = minilab.names
+        spec = ColocationSpec(tuple((n, R1080) for n in names[:3]))
+        row = fitted._feature_row(spec, 0)
+        scores = fitted._sensitivity_scores(names[0])
+        summed = (
+            minilab.db.get(names[1]).intensity_at(R1080).values
+            + minilab.db.get(names[2]).intensity_at(R1080).values
+        )
+        assert np.allclose(row, scores * summed)
+
+    def test_degradations_clipped(self, minilab, fitted):
+        names = minilab.names
+        spec = ColocationSpec(tuple((n, R1080) for n in names[:4]))
+        degr = fitted.predict_degradations(spec)
+        assert np.all((degr >= 0.01) & (degr <= 1.5))
+
+    def test_feasibility_api(self, minilab, fitted):
+        names = minilab.names
+        spec = ColocationSpec(((names[0], R1080), (names[1], R1080)))
+        verdicts = fitted.predict_feasible(spec, 60.0)
+        assert verdicts.dtype == bool
+        assert fitted.colocation_feasible(spec, 60.0) == bool(np.all(verdicts))
+
+    def test_reasonable_accuracy(self, minilab, fitted):
+        errors = []
+        for m in minilab.measured_test:
+            degr = fitted.predict_degradations(m.spec)
+            for i, (name, res) in enumerate(m.spec.entries):
+                solo = minilab.db.get(name).solo_fps_at(res)
+                actual = m.fps[i] / solo
+                errors.append(abs(degr[i] - actual) / actual)
+        assert np.mean(errors) < 0.6

@@ -1,0 +1,90 @@
+"""Tests for the VBP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import VBPJudge
+from repro.baselines.vbp import VBP_RESOURCES
+from repro.core.training import ColocationSpec
+from repro.games.resolution import Resolution
+from repro.hardware.resources import Resource, ResourceKind
+
+R1080 = Resolution(1920, 1080)
+R720 = Resolution(1280, 720)
+
+
+@pytest.fixture(scope="module")
+def judge(minilab):
+    return VBPJudge(minilab.db)
+
+
+class TestDemandVector:
+    def test_caches_excluded(self):
+        assert Resource.LLC not in VBP_RESOURCES
+        assert Resource.GPU_L2 not in VBP_RESOURCES
+        assert len(VBP_RESOURCES) == 5
+
+    def test_dimensions(self, minilab, judge):
+        demand = judge.demand_vector(minilab.names[0], R1080)
+        assert demand.shape == (7,)  # 5 shared + cpu mem + gpu mem
+        assert np.all(demand >= 0)
+
+    def test_memory_normalized_by_server(self, minilab, judge):
+        profile = minilab.db.get(minilab.names[0])
+        demand = judge.demand_vector(minilab.names[0], R1080)
+        assert demand[-2] == pytest.approx(profile.cpu_mem_gb / 8.0)
+        assert demand[-1] == pytest.approx(profile.gpu_mem_gb / 6.0)
+
+    def test_resolution_affects_gpu_demand(self, minilab, judge):
+        lo = judge.demand_vector(minilab.names[0], R720)
+        hi = judge.demand_vector(minilab.names[0], R1080)
+        assert hi.sum() >= lo.sum()
+
+
+class TestFeasibility:
+    def test_single_game_feasible(self, minilab, judge):
+        spec = ColocationSpec(((minilab.names[0], R1080),))
+        assert judge.colocation_feasible(spec)
+
+    def test_overpacked_infeasible(self, minilab, judge):
+        # Enough copies of the heaviest game must exceed some dimension.
+        heaviest = max(
+            minilab.names,
+            key=lambda n: judge.demand_vector(n, R1080).max(),
+        )
+        spec = ColocationSpec(tuple((heaviest, R1080) for _ in range(8)))
+        assert not judge.colocation_feasible(spec)
+
+    def test_total_demand_is_sum(self, minilab, judge):
+        a, b = minilab.names[:2]
+        spec = ColocationSpec(((a, R1080), (b, R1080)))
+        total = judge.total_demand(spec)
+        expected = judge.demand_vector(a, R1080) + judge.demand_vector(b, R1080)
+        assert np.allclose(total, expected)
+
+    def test_predict_feasible_is_colocation_level(self, minilab, judge):
+        spec = ColocationSpec(((minilab.names[0], R1080), (minilab.names[1], R1080)))
+        verdicts = judge.predict_feasible(spec)
+        assert len(set(verdicts.tolist())) == 1  # same verdict for all entries
+
+    def test_qos_blindness(self, minilab, judge):
+        """VBP cannot see frame rates: the verdict ignores the QoS floor."""
+        spec = ColocationSpec(((minilab.names[0], R1080), (minilab.names[1], R1080)))
+        assert judge.colocation_feasible(spec, 30.0) == judge.colocation_feasible(
+            spec, 240.0
+        )
+
+
+class TestWorstFitHelpers:
+    def test_remaining_capacity_empty_server(self, judge):
+        assert judge.remaining_capacity(None) == pytest.approx(7.0)
+
+    def test_remaining_capacity_decreases(self, minilab, judge):
+        spec = ColocationSpec(((minilab.names[0], R1080),))
+        assert judge.remaining_capacity(spec) < 7.0
+
+    def test_fits_after_adding(self, minilab, judge):
+        name = minilab.names[0]
+        assert judge.fits_after_adding(None, name, R1080)
+        crowded = ColocationSpec(tuple((name, R1080) for _ in range(8)))
+        assert not judge.fits_after_adding(crowded, name, R1080)

@@ -1,0 +1,108 @@
+"""Tests for the pressure microbenchmarks."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench import BENCHMARK_FACTORIES, PressureBenchmark, make_benchmark
+from repro.hardware.resources import NUM_RESOURCES, Resource
+
+
+class TestPressureBenchmark:
+    def test_utilization_has_dial_on_target(self):
+        bench = make_benchmark(Resource.GPU_CE, 0.7)
+        util = bench.utilization()
+        assert util[Resource.GPU_CE] == pytest.approx(0.7)
+
+    def test_spill_proportional_to_dial(self):
+        low = make_benchmark(Resource.GPU_BW, 0.2).utilization()
+        high = make_benchmark(Resource.GPU_BW, 0.8).utilization()
+        assert high[Resource.GPU_L2] == pytest.approx(4 * low[Resource.GPU_L2])
+
+    def test_zero_dial_zero_utilization(self):
+        util = make_benchmark(Resource.LLC, 0.0).utilization()
+        assert all(v == 0.0 for v in util)
+
+    def test_invalid_pressure_rejected(self):
+        with pytest.raises(ValueError):
+            make_benchmark(Resource.CPU_CE, 1.5)
+
+    def test_spill_cannot_include_target(self):
+        with pytest.raises(ValueError, match="target"):
+            PressureBenchmark(
+                resource=Resource.LLC, pressure=0.5, spill={Resource.LLC: 0.1}
+            )
+
+    def test_with_pressure(self):
+        bench = make_benchmark(Resource.MEM_BW, 0.3)
+        other = bench.with_pressure(0.9)
+        assert other.pressure == 0.9
+        assert other.resource == bench.resource
+        assert other.spill == bench.spill
+
+    def test_name_includes_resource_and_dial(self):
+        assert "GPU-L2" in make_benchmark(Resource.GPU_L2, 0.25).name
+
+
+class TestSlowdown:
+    def test_no_pressure_no_slowdown(self):
+        bench = make_benchmark(Resource.CPU_CE, 0.5)
+        assert bench.slowdown(np.zeros(NUM_RESOURCES)) == pytest.approx(1.0)
+
+    def test_responds_to_own_resource(self):
+        bench = make_benchmark(Resource.GPU_BW, 0.5)
+        pressures = np.zeros(NUM_RESOURCES)
+        pressures[int(Resource.GPU_BW)] = 0.8
+        assert bench.slowdown(pressures) == pytest.approx(
+            1.0 + bench.slowdown_gain * 0.8
+        )
+
+    def test_weak_cross_response(self):
+        bench = make_benchmark(Resource.GPU_BW, 0.5)
+        own = np.zeros(NUM_RESOURCES)
+        own[int(Resource.GPU_BW)] = 0.5
+        cross = np.zeros(NUM_RESOURCES)
+        cross[int(Resource.CPU_CE)] = 0.5
+        assert bench.slowdown(own) > bench.slowdown(cross) > 1.0
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            make_benchmark(Resource.LLC, 0.5).slowdown(np.zeros(3))
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    def test_monotone_in_own_pressure(self, p1, p2):
+        bench = make_benchmark(Resource.PCIE_BW, 0.5)
+        lo, hi = sorted([p1, p2])
+        v_lo = np.zeros(NUM_RESOURCES)
+        v_hi = np.zeros(NUM_RESOURCES)
+        v_lo[int(Resource.PCIE_BW)] = lo
+        v_hi[int(Resource.PCIE_BW)] = hi
+        assert bench.slowdown(v_lo) <= bench.slowdown(v_hi)
+
+
+class TestSuite:
+    def test_one_benchmark_per_resource(self):
+        assert set(BENCHMARK_FACTORIES) == set(Resource)
+
+    def test_each_targets_its_resource(self):
+        for res in Resource:
+            assert make_benchmark(res, 0.5).resource == res
+
+    def test_gpu_bw_spills_to_cache(self):
+        # The paper: no cache-bypassing loads on GPUs, so GPU-BW pressure
+        # necessarily pressures GPU caches.
+        util = make_benchmark(Resource.GPU_BW, 1.0).utilization()
+        assert util[Resource.GPU_L2] > 0.1
+
+    def test_pcie_touches_both_sides(self):
+        util = make_benchmark(Resource.PCIE_BW, 1.0).utilization()
+        assert util[Resource.MEM_BW] > 0.0
+        assert util[Resource.GPU_BW] > 0.0
+
+    def test_spill_stays_small(self):
+        # Design principle 2: minimal contention on other resources.
+        for res in Resource:
+            util = make_benchmark(res, 1.0).utilization().values.copy()
+            util[int(res)] = 0.0
+            assert util.max() <= 0.3

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_colocation
+from repro.games.resolution import REFERENCE_RESOLUTION, Resolution
+
+
+class TestParseColocation:
+    def test_with_resolutions(self):
+        spec = parse_colocation("Dota2@1920x1080, H1Z1@1280x720")
+        assert spec.entries == (
+            ("Dota2", Resolution(1920, 1080)),
+            ("H1Z1", Resolution(1280, 720)),
+        )
+
+    def test_default_resolution(self):
+        spec = parse_colocation("Dota2")
+        assert spec.entries == (("Dota2", REFERENCE_RESOLUTION),)
+
+    def test_game_name_with_spaces(self):
+        spec = parse_colocation("Far Cry4@1600x900")
+        assert spec.entries[0][0] == "Far Cry4"
+
+    def test_bad_resolution(self):
+        with pytest.raises(ValueError, match="resolution"):
+            parse_colocation("Dota2@huge")
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            parse_colocation(" , ")
+
+
+class TestCatalogCommand:
+    def test_lists_games(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "Dota2" in out
+        assert "solo FPS" in out
+
+    def test_genre_filter(self, capsys):
+        assert main(["catalog", "--genre", "moba-esports"]) == 0
+        out = capsys.readouterr().out
+        assert "Dota2" in out
+        assert "ARK Survival Evolved" not in out
+
+    def test_unknown_genre(self, capsys):
+        assert main(["catalog", "--genre", "sports-betting"]) == 1
+
+
+class TestFullWorkflow:
+    """profile -> train -> predict, end to end through the CLI."""
+
+    def test_workflow(self, tmp_path, capsys):
+        db_path = tmp_path / "db.json"
+        predictor_path = tmp_path / "predictor.json"
+
+        rc = main(
+            [
+                "profile",
+                "--games",
+                "Dota2,H1Z1,Stardew Valley,Team Fortress 2,Northgard",
+                "--out",
+                str(db_path),
+            ]
+        )
+        assert rc == 0
+        assert db_path.exists()
+        assert len(json.loads(db_path.read_text())["profiles"]) == 5
+
+        rc = main(
+            [
+                "train",
+                "--db",
+                str(db_path),
+                "--pairs",
+                "40",
+                "--triples",
+                "15",
+                "--quads",
+                "0",
+                "--out",
+                str(predictor_path),
+            ]
+        )
+        assert rc == 0
+        assert predictor_path.exists()
+
+        rc = main(
+            [
+                "predict",
+                "--predictor",
+                str(predictor_path),
+                "--colocation",
+                "Dota2@1920x1080,Stardew Valley@1280x720",
+                "--qos",
+                "30",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "predicted FPS" in out
+        assert rc in (0, 2)
+
+    def test_predict_unknown_game(self, tmp_path, capsys):
+        # Errors surface as exit code 1 with a message, not tracebacks.
+        db_path = tmp_path / "db.json"
+        assert main(["profile", "--games", "Dota2,H1Z1", "--out", str(db_path)]) == 0
+        predictor_path = tmp_path / "p.json"
+        assert (
+            main(
+                [
+                    "train",
+                    "--db",
+                    str(db_path),
+                    "--pairs",
+                    "10",
+                    "--triples",
+                    "0",
+                    "--quads",
+                    "0",
+                    "--out",
+                    str(predictor_path),
+                ]
+            )
+            == 0
+        )
+        rc = main(
+            [
+                "predict",
+                "--predictor",
+                str(predictor_path),
+                "--colocation",
+                "NoSuchGame,Dota2",
+            ]
+        )
+        assert rc == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,107 @@
+"""Tests for the Eq. 5 aggregate-intensity transform and model inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import (
+    AGGREGATE_DIM,
+    aggregate_intensity,
+    cm_feature_names,
+    cm_feature_vector,
+    rm_feature_names,
+    rm_feature_vector,
+)
+
+intensity_vectors = st.lists(
+    st.lists(st.floats(0.0, 2.0), min_size=7, max_size=7).map(np.array),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestAggregateIntensity:
+    def test_dimension(self):
+        out = aggregate_intensity([np.full(7, 0.5)])
+        assert out.shape == (AGGREGATE_DIM,)
+        assert AGGREGATE_DIM == 15
+
+    def test_size_is_first_entry(self):
+        out = aggregate_intensity([np.zeros(7), np.zeros(7), np.zeros(7)])
+        assert out[0] == 3.0
+
+    def test_single_corunner_zero_variance(self):
+        out = aggregate_intensity([np.full(7, 0.4)])
+        assert np.allclose(out[1::2], 0.4)
+        assert np.allclose(out[2::2], 0.0)
+
+    def test_papers_variance_formula(self):
+        # var_r = (1/|G|) * sqrt(sum (I - mean)^2), exactly as printed.
+        a = np.zeros(7)
+        b = np.ones(7)
+        out = aggregate_intensity([a, b])
+        expected = np.sqrt(0.25 + 0.25) / 2.0
+        assert np.allclose(out[2::2], expected)
+
+    def test_not_a_plain_sum(self):
+        # Observation 5: the transform must not reduce to summation.
+        single = aggregate_intensity([np.full(7, 0.5)])
+        double = aggregate_intensity([np.full(7, 0.5), np.full(7, 0.5)])
+        assert not np.allclose(double[1::2], 2 * single[1::2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_intensity([])
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError, match="7"):
+            aggregate_intensity([np.zeros(5)])
+
+    @given(intensity_vectors)
+    @settings(max_examples=30)
+    def test_permutation_invariant(self, vectors):
+        out1 = aggregate_intensity(vectors)
+        out2 = aggregate_intensity(vectors[::-1])
+        assert np.allclose(out1, out2)
+
+    @given(intensity_vectors)
+    @settings(max_examples=30)
+    def test_mean_bounded_by_inputs(self, vectors):
+        out = aggregate_intensity(vectors)
+        stack = np.vstack(vectors)
+        assert np.all(out[1::2] <= stack.max(axis=0) + 1e-12)
+        assert np.all(out[1::2] >= stack.min(axis=0) - 1e-12)
+
+
+class TestFeatureVectors:
+    def test_rm_layout(self):
+        sens = np.linspace(0, 1, 77)
+        x = rm_feature_vector(sens, [np.full(7, 0.3)])
+        assert x.shape == (77 + 15,)
+        assert np.allclose(x[:77], sens)
+
+    def test_cm_layout(self):
+        sens = np.zeros(77)
+        x = cm_feature_vector(60.0, 120.0, sens, [np.full(7, 0.3)])
+        assert x.shape == (3 + 77 + 15,)
+        assert x[0] == 60.0
+        assert x[1] == 120.0
+        assert x[2] == pytest.approx(0.5)  # required degradation ratio
+
+    def test_cm_rejects_non_positive_solo(self):
+        with pytest.raises(ValueError, match="solo_fps"):
+            cm_feature_vector(60.0, 0.0, np.zeros(77), [np.zeros(7)])
+
+    def test_names_align_with_vectors(self):
+        sens = np.zeros(77)
+        rm = rm_feature_vector(sens, [np.zeros(7)])
+        cm = cm_feature_vector(60.0, 100.0, sens, [np.zeros(7)])
+        assert len(rm_feature_names(11)) == rm.shape[0]
+        assert len(cm_feature_names(11)) == cm.shape[0]
+
+    def test_names_contain_resources(self):
+        names = rm_feature_names(11)
+        assert "sens[GPU-CE][0]" in names
+        assert "intensity_mean[LLC]" in names
+        assert "n_corunners" in names

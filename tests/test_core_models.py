@@ -1,0 +1,147 @@
+"""Tests for the GAugur CM/RM wrappers and online predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core import GAugurClassifier, GAugurRegressor, InterferencePredictor
+from repro.core.training import ColocationSpec
+from repro.games.resolution import Resolution
+from repro.ml import DecisionTreeClassifier, DecisionTreeRegressor
+
+R1080 = Resolution(1920, 1080)
+R720 = Resolution(1280, 720)
+
+
+@pytest.fixture(scope="module")
+def split(minilab):
+    return minilab.split(60.0)
+
+
+@pytest.fixture(scope="module")
+def rm(split):
+    # A fast estimator keeps this module quick; accuracy is tested at the
+    # lab level elsewhere.
+    _, _, rm_tr, _ = split
+    return GAugurRegressor(DecisionTreeRegressor(max_depth=8)).fit(rm_tr)
+
+
+@pytest.fixture(scope="module")
+def cm(split):
+    cm_tr, _, _, _ = split
+    return GAugurClassifier(DecisionTreeClassifier(max_depth=8)).fit(cm_tr)
+
+
+@pytest.fixture(scope="module")
+def predictor(minilab, cm, rm):
+    return InterferencePredictor(minilab.db, classifier=cm, regressor=rm)
+
+
+class TestGAugurRegressor:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GAugurRegressor().predict_from_features(np.zeros((1, 92)))
+
+    def test_predictions_positive(self, rm, split):
+        _, _, _, rm_te = split
+        pred = rm.predict_from_features(rm_te.X)
+        assert np.all(pred >= 0.01)
+
+    def test_predicts_better_than_mean(self, rm, split):
+        _, _, rm_tr, rm_te = split
+        pred = rm.predict_from_features(rm_te.X)
+        mse_model = np.mean((pred - rm_te.y) ** 2)
+        mse_mean = np.mean((rm_tr.y.mean() - rm_te.y) ** 2)
+        assert mse_model < mse_mean
+
+    def test_high_level_predict(self, minilab, rm):
+        names = minilab.names
+        target = minilab.db.get(names[0])
+        co = [(minilab.db.get(names[1]), R1080)]
+        degr = rm.predict(target, co)
+        assert 0.0 < degr <= 1.5
+
+    def test_predict_requires_corunner(self, minilab, rm):
+        with pytest.raises(ValueError):
+            rm.predict(minilab.db.get(minilab.names[0]), [])
+
+    def test_predict_fps_uses_solo_law(self, minilab, rm):
+        target = minilab.db.get(minilab.names[0])
+        co = [(minilab.db.get(minilab.names[1]), R1080)]
+        fps = rm.predict_fps(target, R720, co)
+        assert fps == pytest.approx(rm.predict(target, co) * target.solo_fps_at(R720))
+
+
+class TestGAugurClassifier:
+    def test_rejects_non_binary_labels(self, split):
+        cm_tr, _, _, _ = split
+        bad = cm_tr.select(np.arange(len(cm_tr)))
+        bad.y = bad.y.copy()
+        bad.y[0] = 3
+        with pytest.raises(ValueError, match="binary"):
+            GAugurClassifier(DecisionTreeClassifier()).fit(bad)
+
+    def test_accuracy_above_majority(self, cm, split):
+        _, cm_te, _, _ = split
+        pred = cm.predict_from_features(cm_te.X)
+        majority = max(np.mean(cm_te.y), 1 - np.mean(cm_te.y))
+        assert np.mean(pred == cm_te.y) > majority
+
+    def test_high_level_predict(self, minilab, cm):
+        names = minilab.names
+        target = minilab.db.get(names[0])
+        co = [(minilab.db.get(names[1]), R1080)]
+        verdict = cm.predict(target, R1080, co, qos=60.0)
+        assert isinstance(verdict, bool)
+
+    def test_trivial_qos_always_feasible(self, minilab, cm):
+        names = minilab.names
+        target = minilab.db.get(names[0])
+        co = [(minilab.db.get(names[1]), R1080)]
+        assert cm.predict(target, R1080, co, qos=0.5)
+
+
+class TestInterferencePredictor:
+    def test_requires_some_model(self, minilab):
+        with pytest.raises(ValueError):
+            InterferencePredictor(minilab.db)
+
+    def test_predict_degradations_shape(self, minilab, predictor):
+        spec = ColocationSpec(tuple((n, R1080) for n in minilab.names[:3]))
+        degr = predictor.predict_degradations(spec)
+        assert degr.shape == (3,)
+
+    def test_singleton_no_degradation(self, minilab, predictor):
+        spec = ColocationSpec(((minilab.names[0], R1080),))
+        assert predictor.predict_degradations(spec)[0] == 1.0
+
+    def test_singleton_feasibility_is_solo_check(self, minilab, predictor):
+        name = minilab.names[0]
+        solo = minilab.db.get(name).solo_fps_at(R1080)
+        spec = ColocationSpec(((name, R1080),))
+        assert predictor.predict_feasible(spec, solo - 1.0)[0]
+        assert not predictor.predict_feasible(spec, solo + 10.0)[0]
+
+    def test_predict_fps_composition(self, minilab, predictor):
+        spec = ColocationSpec(tuple((n, R1080) for n in minilab.names[:2]))
+        fps = predictor.predict_fps(spec)
+        degr = predictor.predict_degradations(spec)
+        solos = np.array(
+            [minilab.db.get(n).solo_fps_at(R1080) for n in minilab.names[:2]]
+        )
+        assert np.allclose(fps, degr * solos)
+
+    def test_rm_feasibility_consistent(self, minilab, predictor):
+        spec = ColocationSpec(tuple((n, R1080) for n in minilab.names[:2]))
+        fps = predictor.predict_fps(spec)
+        verdicts = predictor.predict_feasible_rm(spec, 60.0)
+        assert np.array_equal(verdicts, fps >= 60.0)
+        assert predictor.colocation_feasible_rm(spec, 60.0) == bool(np.all(verdicts))
+
+    def test_missing_model_errors(self, minilab, cm, rm):
+        spec = ColocationSpec(tuple((n, R1080) for n in minilab.names[:2]))
+        only_cm = InterferencePredictor(minilab.db, classifier=cm)
+        with pytest.raises(RuntimeError, match="regression"):
+            only_cm.predict_degradations(spec)
+        only_rm = InterferencePredictor(minilab.db, regressor=rm)
+        with pytest.raises(RuntimeError, match="classification"):
+            only_rm.predict_feasible(spec, 60.0)

@@ -1,0 +1,155 @@
+"""Tests for SensitivityCurve and GameProfile resolution laws."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiles import GameProfile, SensitivityCurve
+from repro.games.resolution import Resolution
+from repro.hardware.resources import Resource, ResourceVector
+
+R720 = Resolution(1280, 720)
+R900 = Resolution(1600, 900)
+R1080 = Resolution(1920, 1080)
+
+
+def _curve(res=Resource.GPU_CE, degr=(1.0, 0.8, 0.5)):
+    return SensitivityCurve(
+        resource=res, pressures=(0.0, 0.5, 1.0), degradations=degr
+    )
+
+
+def _profile(fps=(120.0, 90.0), intensities=((0.2,) * 7, (0.4,) * 7)):
+    return GameProfile(
+        name="g",
+        sensitivity={r: _curve(r) for r in Resource},
+        solo_fps={R720: fps[0], R1080: fps[1]},
+        intensity={
+            R720: ResourceVector(list(intensities[0])),
+            R1080: ResourceVector(list(intensities[1])),
+        },
+        demand={
+            R720: ResourceVector([0.3] * 7),
+            R1080: ResourceVector([0.5] * 7),
+        },
+        cpu_mem_gb=1.0,
+        gpu_mem_gb=0.5,
+    )
+
+
+class TestSensitivityCurve:
+    def test_interpolation(self):
+        curve = _curve()
+        assert curve.value_at(0.25) == pytest.approx(0.9)
+        assert curve.value_at(0.0) == 1.0
+        assert curve.value_at(1.0) == 0.5
+
+    def test_max_suffering(self):
+        assert _curve().max_suffering == pytest.approx(0.5)
+
+    def test_at_full_pressure(self):
+        assert _curve().at_full_pressure == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            SensitivityCurve(Resource.LLC, (0.0, 1.0), (1.0,))
+        with pytest.raises(ValueError, match="sorted"):
+            SensitivityCurve(Resource.LLC, (1.0, 0.0), (1.0, 0.5))
+        with pytest.raises(ValueError, match="2 samples"):
+            SensitivityCurve(Resource.LLC, (0.0,), (1.0,))
+        with pytest.raises(ValueError, match=">= 0"):
+            SensitivityCurve(Resource.LLC, (0.0, 1.0), (1.0, -0.2))
+
+    def test_dict_round_trip(self):
+        curve = _curve()
+        assert SensitivityCurve.from_dict(curve.to_dict()) == curve
+
+
+class TestGameProfileResolutionLaws:
+    def test_solo_fps_interpolates(self):
+        profile = _profile()
+        mid = profile.solo_fps_at(R900)
+        assert 90.0 < mid < 120.0
+
+    def test_solo_fps_exact_at_profiled_points(self):
+        profile = _profile()
+        assert profile.solo_fps_at(R720) == pytest.approx(120.0)
+        assert profile.solo_fps_at(R1080) == pytest.approx(90.0)
+
+    def test_solo_fps_clamps_beyond_range(self):
+        profile = _profile()
+        # 4K is beyond the profiled range: clamp, never extrapolate to <= 0.
+        assert profile.solo_fps_at(Resolution(3840, 2160)) == pytest.approx(90.0)
+
+    def test_intensity_cpu_side_average(self):
+        profile = _profile()
+        vec = profile.intensity_at(R900)
+        for res in (Resource.CPU_CE, Resource.MEM_BW, Resource.LLC):
+            assert vec[res] == pytest.approx(0.3)  # mean of 0.2 / 0.4
+
+    def test_intensity_gpu_side_interpolates(self):
+        profile = _profile()
+        vec = profile.intensity_at(R900)
+        assert 0.2 < vec[Resource.GPU_CE] < 0.4
+
+    def test_demand_clipped_to_unit(self):
+        profile = _profile()
+        vec = profile.demand_at(R1080)
+        assert all(0.0 <= v <= 1.0 for v in vec)
+
+    def test_sensitivity_vector_flat_layout(self):
+        profile = _profile()
+        flat = profile.sensitivity_vector()
+        assert flat.shape == (7 * 3,)
+        assert flat[0] == 1.0 and flat[2] == 0.5  # first curve endpoints
+
+    def test_validation_needs_two_resolutions(self):
+        with pytest.raises(ValueError, match="2 profiled"):
+            GameProfile(
+                name="bad",
+                sensitivity={r: _curve(r) for r in Resource},
+                solo_fps={R720: 100.0},
+                intensity={R720: ResourceVector([0.1] * 7)},
+                demand={R720: ResourceVector([0.1] * 7)},
+                cpu_mem_gb=1.0,
+                gpu_mem_gb=1.0,
+            )
+
+    def test_validation_resolution_sets_must_match(self):
+        with pytest.raises(ValueError, match="match"):
+            GameProfile(
+                name="bad",
+                sensitivity={r: _curve(r) for r in Resource},
+                solo_fps={R720: 100.0, R1080: 80.0},
+                intensity={R720: ResourceVector([0.1] * 7)},
+                demand={R720: ResourceVector([0.1] * 7)},
+                cpu_mem_gb=1.0,
+                gpu_mem_gb=1.0,
+            )
+
+    def test_missing_sensitivity_rejected(self):
+        sens = {r: _curve(r) for r in Resource}
+        del sens[Resource.PCIE_BW]
+        with pytest.raises(ValueError, match="PCIe-BW"):
+            GameProfile(
+                name="bad",
+                sensitivity=sens,
+                solo_fps={R720: 100.0, R1080: 80.0},
+                intensity={
+                    R720: ResourceVector([0.1] * 7),
+                    R1080: ResourceVector([0.1] * 7),
+                },
+                demand={
+                    R720: ResourceVector([0.1] * 7),
+                    R1080: ResourceVector([0.1] * 7),
+                },
+                cpu_mem_gb=1.0,
+                gpu_mem_gb=1.0,
+            )
+
+    def test_dict_round_trip(self):
+        profile = _profile()
+        restored = GameProfile.from_dict(profile.to_dict())
+        assert restored.name == profile.name
+        assert restored.solo_fps == profile.solo_fps
+        assert restored.intensity == profile.intensity
+        assert restored.sensitivity == profile.sensitivity

@@ -1,0 +1,48 @@
+"""Unit tests for ablation/importance feature-index plumbing."""
+
+import numpy as np
+
+from repro.experiments.ablations import _agg_slice, _curve_slice
+from repro.experiments.ext_importance import _SAMPLES_PER_CURVE, _group_indices
+from repro.hardware.resources import CPU_RESOURCES, GPU_RESOURCES, Resource
+
+
+class TestCurveSlice:
+    def test_cpu_indices(self):
+        idx = _curve_slice(CPU_RESOURCES)
+        assert len(idx) == 3 * 11
+        # CPU_CE occupies curve 0.
+        assert 0 in idx and 10 in idx
+
+    def test_disjoint_domains(self):
+        cpu = set(_curve_slice(CPU_RESOURCES).tolist())
+        gpu = set(_curve_slice(GPU_RESOURCES).tolist())
+        assert not cpu & gpu
+
+
+class TestAggSlice:
+    def test_keeps_size_and_selected_stats(self):
+        co = [np.arange(7, dtype=float)]
+        out = _agg_slice([Resource.CPU_CE], co)
+        # |G|, mean(CPU_CE), var(CPU_CE)
+        assert out.shape == (3,)
+        assert out[0] == 1.0
+        assert out[1] == 0.0  # CPU_CE is index 0 of the intensity vector
+        assert out[2] == 0.0  # single co-runner => zero variance
+
+
+class TestImportanceGroups:
+    def test_groups_partition_rm_features(self):
+        groups = _group_indices()
+        all_idx = np.concatenate(list(groups.values()))
+        n_features = 7 * _SAMPLES_PER_CURVE + 1 + 14
+        assert sorted(all_idx.tolist()) == list(range(n_features))
+
+    def test_one_group_per_resource_plus_size(self):
+        groups = _group_indices()
+        assert set(groups) == {r.label for r in Resource} | {"n_corunners"}
+
+    def test_resource_group_sizes(self):
+        groups = _group_indices()
+        for res in Resource:
+            assert len(groups[res.label]) == _SAMPLES_PER_CURVE + 2

@@ -1,0 +1,51 @@
+"""Tests for shared evaluation plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.evalutils import (
+    baseline_sample_predictions,
+    breakdown_by_size,
+)
+
+
+class TestBaselineSamplePredictions:
+    def test_alignment_with_test_campaign(self, minilab):
+        preds = baseline_sample_predictions(minilab, minilab.sigmoid)
+        expected = sum(m.spec.size for m in minilab.measured_test if m.spec.size >= 2)
+        assert len(preds.actual_degradation) == expected
+        assert preds.sizes.min() >= 2
+
+    def test_relative_errors_formula(self, minilab):
+        preds = baseline_sample_predictions(minilab, minilab.sigmoid)
+        manual = np.abs(
+            preds.predicted_degradation - preds.actual_degradation
+        ) / preds.actual_degradation
+        assert np.allclose(preds.relative_errors, manual)
+
+    def test_qos_labels(self, minilab):
+        preds = baseline_sample_predictions(minilab, minilab.smite)
+        actual, predicted = preds.qos_labels(60.0)
+        assert set(np.unique(actual)) <= {0, 1}
+        assert set(np.unique(predicted)) <= {0, 1}
+        assert np.array_equal(actual, (preds.actual_fps >= 60.0).astype(int))
+
+    def test_actual_degradation_consistent(self, minilab):
+        preds = baseline_sample_predictions(minilab, minilab.sigmoid)
+        assert np.allclose(
+            preds.actual_degradation * preds.solo_fps, preds.actual_fps
+        )
+
+
+class TestBreakdownBySize:
+    def test_groups(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        sizes = np.array([2, 2, 3, 3])
+        out = breakdown_by_size(values, sizes)
+        assert out == {"overall": 2.5, "2": 1.5, "3": 3.5}
+
+    def test_custom_reducer(self):
+        values = np.array([1.0, 5.0])
+        sizes = np.array([2, 2])
+        out = breakdown_by_size(values, sizes, reducer=np.max)
+        assert out["overall"] == 5.0

@@ -1,0 +1,110 @@
+"""Unit tests for extension-module render functions (pure formatting)."""
+
+import numpy as np
+
+from repro.experiments import (
+    ablations,
+    ext_completion,
+    ext_delay,
+    ext_dynamic,
+    ext_hetero,
+    ext_importance,
+)
+from repro.scheduling.dynamic import DynamicMetrics
+
+
+class TestRenders:
+    def test_ext_delay_render(self):
+        text = ext_delay.render(
+            {
+                "n_samples": 100,
+                "overall_error": 0.08,
+                "by_size": {2: 0.07, 3: 0.09},
+                "delay_ratio_range": (1.0, 4.2),
+                "p90_error": 0.2,
+            }
+        )
+        assert "processing-delay" in text
+        assert "2-games" in text
+        assert "1.00 .. 4.20" in text
+
+    def test_ext_completion_render(self):
+        text = ext_completion.render(
+            {
+                "n_partial": 50,
+                "rank": 8,
+                "reconstruction_mae": 0.08,
+                "rm_error_full": 0.10,
+                "rm_error_completed": 0.12,
+                "profiling_cost_saved": 0.357,
+            }
+        )
+        assert "35.7%" in text
+        assert "0.080" in text
+
+    def test_ext_dynamic_render(self):
+        metrics = DynamicMetrics(
+            n_sessions=10,
+            server_minutes=100.0,
+            dedicated_server_minutes=200.0,
+            peak_servers=5,
+            violation_minutes=10.0,
+            session_minutes=200.0,
+        )
+        text = ext_dynamic.render(
+            {"qos": 60.0, "n_sessions": 10, "metrics": {"P": metrics}}
+        )
+        assert "50.0%" in text  # utilization gain
+        assert "5.0%" in text  # violation fraction
+
+    def test_ext_hetero_render(self):
+        text = ext_hetero.render(
+            {
+                "servers": {
+                    "ref": {"native_error": 0.1, "mean_degradation": 0.6},
+                    "big": {
+                        "native_error": 0.08,
+                        "mean_degradation": 0.8,
+                        "transfer_error": 0.15,
+                    },
+                },
+                "n_colocations": 100,
+            }
+        )
+        assert "ref" in text and "big" in text
+
+    def test_ext_importance_render(self):
+        text = ext_importance.render(
+            {
+                "per_resource": {"CPU-CE": 0.01, "GPU-CE": 0.03, "n_corunners": 0.0},
+                "per_block": {"sensitivity curves": 0.05, "aggregate intensity": 0.02},
+            }
+        )
+        # Sorted descending: GPU-CE leads.
+        assert text.index("GPU-CE") < text.index("CPU-CE")
+
+    def test_ablations_render(self):
+        text = ablations.render(
+            {
+                "aggregate_transform": {"Eq.5 (mean/var per resource)": 0.1},
+                "feature_knockout": {"full": 0.1},
+                "granularity": {2: 0.11, 10: 0.10},
+                "noise": {0.0: 0.1, 0.1: 0.16},
+            }
+        )
+        assert "Ablation 1" in text
+        assert "Ablation 4" in text
+
+
+class TestDynamicMetricsProperties:
+    def test_utilization_gain_zero_division_guard(self):
+        metrics = DynamicMetrics(
+            n_sessions=0,
+            server_minutes=0.0,
+            dedicated_server_minutes=0.0,
+            peak_servers=0,
+            violation_minutes=0.0,
+            session_minutes=0.0,
+        )
+        assert metrics.utilization_gain == 0.0
+        assert metrics.violation_fraction == 0.0

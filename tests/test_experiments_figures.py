@@ -1,0 +1,81 @@
+"""Smoke tests for the cheap figure modules over the miniature lab.
+
+The expensive model-training figures (7-10) are exercised by the benchmark
+harness; here the data-collection figures run end to end and their outputs
+satisfy the paper's qualitative observations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ext_conservative,
+    fig01_pairs,
+    fig02_catalog,
+    fig04_sensitivity,
+    fig05_intensity,
+)
+from repro.experiments.fig04_sensitivity import nonlinearity_score
+from repro.experiments.runner import EXPERIMENTS, EXTENSIONS
+from repro.hardware.resources import Resource
+
+
+class TestFig01:
+    def test_pairs_and_render(self, minilab):
+        result = fig01_pairs.run(minilab)
+        assert len(result["pairs"]) == 6
+        text = fig01_pairs.render(result)
+        assert "Ancestors Legacy" in text
+        assert "solo:" in text
+
+
+class TestFig02:
+    def test_normalization(self, minilab):
+        result = fig02_catalog.run(minilab)
+        for key in ("cpu_demand", "gpu_demand", "memory_demand"):
+            assert result[key].max() == pytest.approx(1.0)
+            assert result[key].min() > 0.0
+        assert "Figure 2" in fig02_catalog.render(result)
+
+
+class TestFig04:
+    def test_curves_present_for_representatives(self, minilab):
+        result = fig04_sensitivity.run(minilab)
+        assert len(result["games"]) == 6
+        for name in result["games"]:
+            assert set(result["curves"][name]) == {r.label for r in Resource}
+        assert "Dota2" in fig04_sensitivity.render(result)
+
+    def test_nonlinearity_score(self):
+        linear = {"pressures": [0.0, 0.5, 1.0], "degradations": [1.0, 0.75, 0.5]}
+        assert nonlinearity_score(linear) == pytest.approx(0.0)
+        cliff = {"pressures": [0.0, 0.5, 1.0], "degradations": [1.0, 1.0, 0.5]}
+        assert nonlinearity_score(cliff) == pytest.approx(0.25)
+
+
+class TestFig05:
+    def test_intensity_table(self, minilab):
+        result = fig05_intensity.run(minilab)
+        for name in result["games"]:
+            values = list(result["intensity"][name].values())
+            assert all(v >= 0 for v in values)
+        assert "GPU-CE" in fig05_intensity.render(result)
+
+
+class TestExtConservative:
+    def test_subset_property(self, minilab):
+        result = ext_conservative.run(minilab, qos=60.0)
+        assert result["conservative_is_subset"]
+        assert result["feasible_min"] <= result["feasible_mean"]
+        assert "minimum-FPS" in ext_conservative.render(result)
+
+
+class TestRunnerRegistry:
+    def test_every_module_has_run_and_render(self):
+        for name, module in EXPERIMENTS + EXTENSIONS:
+            assert callable(module.run), name
+            assert callable(module.render), name
+
+    def test_names_unique(self):
+        names = [n for n, _ in EXPERIMENTS + EXTENSIONS]
+        assert len(set(names)) == len(names)

@@ -1,0 +1,52 @@
+"""Tests for the experiment runner CLI plumbing."""
+
+import types
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.experiments.runner import main, run_all
+
+
+def _fake_module(name: str):
+    mod = types.SimpleNamespace()
+    mod.run = lambda lab: {"name": name}
+    mod.render = lambda result: f"rendered {result['name']}"
+    return mod
+
+
+@pytest.fixture()
+def patched_runner(monkeypatch, minilab):
+    monkeypatch.setattr(
+        runner_module, "EXPERIMENTS", (("figA", _fake_module("A")),)
+    )
+    monkeypatch.setattr(
+        runner_module, "EXTENSIONS", (("extB", _fake_module("B")),)
+    )
+    monkeypatch.setattr(runner_module, "get_lab", lambda: minilab)
+
+
+class TestRunAll:
+    def test_runs_experiments(self, patched_runner, minilab, capsys):
+        rendered = run_all(minilab)
+        assert rendered == {"figA": "rendered A"}
+        assert "figA" in capsys.readouterr().out
+
+    def test_extensions_opt_in(self, patched_runner, minilab):
+        rendered = run_all(minilab, echo=False, include_extensions=True)
+        assert set(rendered) == {"figA", "extB"}
+
+
+class TestMain:
+    def test_writes_markdown(self, patched_runner, tmp_path, capsys):
+        out = tmp_path / "results.md"
+        assert main([str(out)]) == 0
+        text = out.read_text()
+        assert "## figA" in text
+        assert "rendered A" in text
+        assert "extB" not in text
+
+    def test_extensions_flag(self, patched_runner, tmp_path):
+        out = tmp_path / "results.md"
+        assert main(["--extensions", str(out)]) == 0
+        assert "## extB" in out.read_text()

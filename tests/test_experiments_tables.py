@@ -1,0 +1,46 @@
+"""Tests for the table/series renderers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.tables import cdf_points, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.5], ["bb", 2.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.500" in text and "2.000" in text
+
+    def test_custom_float_format(self):
+        text = format_table(["x"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series(
+            "n", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]}
+        )
+        assert "s1" in text and "s2" in text
+        assert "0.100" in text and "0.400" in text
+
+
+class TestCdfPoints:
+    def test_quantiles(self):
+        q, v = cdf_points(np.arange(101), n_points=11)
+        assert q[0] == 0.0 and q[-1] == 1.0
+        assert v[0] == 0.0 and v[-1] == 100.0
+        assert len(q) == len(v) == 11
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_points([])

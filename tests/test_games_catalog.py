@@ -1,0 +1,104 @@
+"""Tests for the synthetic game catalog and its paper-matching properties."""
+
+import numpy as np
+import pytest
+
+from repro.games import REFERENCE_RESOLUTION, Resolution, build_catalog
+from repro.games.catalog import GAME_NAMES, REPRESENTATIVE_GAMES, GameCatalog
+from repro.games.genres import Genre, genre_archetypes
+from repro.hardware.resources import Resource
+
+
+class TestGameNames:
+    def test_exactly_100_games(self):
+        assert len(GAME_NAMES) == 100
+
+    def test_names_unique(self):
+        names = [n for n, _ in GAME_NAMES]
+        assert len(set(names)) == 100
+
+    def test_representative_games_present(self):
+        names = {n for n, _ in GAME_NAMES}
+        for rep in REPRESENTATIVE_GAMES:
+            assert rep in names
+
+    def test_all_genres_have_archetypes(self):
+        archetypes = genre_archetypes()
+        for _, genre in GAME_NAMES:
+            assert genre in archetypes
+
+
+class TestBuildCatalog:
+    def test_deterministic(self, catalog):
+        other = build_catalog()
+        for a, b in zip(catalog, other):
+            assert a == b
+
+    def test_seed_changes_catalog(self, catalog):
+        other = build_catalog(seed=999)
+        assert any(a != b for a, b in zip(catalog, other))
+
+    def test_solo_fps_range_plausible(self, catalog):
+        fps = np.array(
+            [g.solo_fps_nominal(REFERENCE_RESOLUTION) for g in catalog]
+        )
+        assert fps.min() > 30.0
+        assert fps.max() < 500.0
+        assert fps.max() / fps.min() > 3.0  # diversity (Figure 2b)
+
+    def test_utilization_in_unit_interval(self, catalog):
+        for game in catalog:
+            util = game.utilization(REFERENCE_RESOLUTION)
+            assert all(0.0 <= u <= 1.0 for u in util)
+
+    def test_lookup_and_suggestions(self, catalog):
+        assert catalog.get("Dota2").name == "Dota2"
+        with pytest.raises(KeyError, match="Dota2"):
+            catalog.get("dota")
+
+    def test_subset_preserves_order(self, catalog):
+        sub = catalog.subset(["H1Z1", "Dota2"])
+        assert sub.names() == ["H1Z1", "Dota2"]
+
+    def test_by_genre(self, catalog):
+        mobas = catalog.by_genre(Genre.MOBA_ESPORTS)
+        assert all(g.genre is Genre.MOBA_ESPORTS for g in mobas)
+        assert len(mobas) >= 3
+
+    def test_duplicate_names_rejected(self, catalog):
+        spec = catalog.get("Dota2")
+        with pytest.raises(ValueError, match="duplicate"):
+            GameCatalog([spec, spec], seed=0)
+
+    def test_dict_round_trip(self, catalog):
+        sub = catalog.subset(["Dota2", "H1Z1"])
+        restored = GameCatalog.from_dict(sub.to_dict())
+        assert restored.names() == sub.names()
+        assert restored.get("Dota2") == sub.get("Dota2")
+
+
+class TestPaperAnecdotes:
+    """The hand-tuned overrides behind Observations 1-3."""
+
+    def test_elder_scrolls_cpu_sensitive(self, catalog):
+        spec = catalog.get("The Elder Scrolls5")
+        # ~70% degradation at max CPU-CE pressure => inflation ~3.3.
+        assert spec.sensitivity[Resource.CPU_CE].inflation(1.0) > 3.0
+
+    def test_far_cry_mild_cpu_sensitivity(self, catalog):
+        spec = catalog.get("Far Cry4")
+        assert spec.sensitivity[Resource.CPU_CE].inflation(1.0) == pytest.approx(1.45)
+
+    def test_far_cry_sensitive_to_everything(self, catalog):
+        spec = catalog.get("Far Cry4")
+        for res in Resource:
+            assert spec.sensitivity[res].magnitude >= 0.45
+
+    def test_granado_espada_observation2(self, catalog):
+        spec = catalog.get("Granado Espada")
+        assert spec.sensitivity[Resource.GPU_CE].magnitude >= 2.0
+        assert spec.base_util[Resource.GPU_CE] <= 0.15
+
+    def test_representative_games_in_catalog(self, catalog):
+        for name in REPRESENTATIVE_GAMES:
+            assert name in catalog

@@ -1,0 +1,122 @@
+"""Tests for sensitivity-curve shapes, including vectorized evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.games.curves import (
+    CurveShape,
+    SensitivityShape,
+    pack_shapes,
+    vector_response,
+)
+
+shape_strategy = st.one_of(
+    st.builds(SensitivityShape, st.floats(0.0, 3.0), st.just(CurveShape.LINEAR)),
+    st.builds(
+        SensitivityShape,
+        st.floats(0.0, 3.0),
+        st.just(CurveShape.CONCAVE),
+        st.floats(0.1, 0.95),
+    ),
+    st.builds(
+        SensitivityShape,
+        st.floats(0.0, 3.0),
+        st.just(CurveShape.CONVEX),
+        st.floats(1.05, 10.0),
+    ),
+    st.builds(
+        SensitivityShape,
+        st.floats(0.0, 3.0),
+        st.just(CurveShape.SIGMOID),
+        st.floats(1.0, 20.0),
+    ),
+    st.builds(
+        SensitivityShape,
+        st.floats(0.0, 3.0),
+        st.just(CurveShape.CLIFF),
+        st.floats(0.05, 0.9),
+    ),
+)
+
+
+class TestSensitivityShape:
+    def test_normalization_endpoints(self):
+        for shape in (
+            SensitivityShape(1.0, CurveShape.LINEAR),
+            SensitivityShape(1.0, CurveShape.CONCAVE, 0.5),
+            SensitivityShape(1.0, CurveShape.CONVEX, 2.0),
+            SensitivityShape(1.0, CurveShape.SIGMOID, 8.0),
+            SensitivityShape(1.0, CurveShape.CLIFF, 0.4),
+        ):
+            assert shape.response(0.0) == pytest.approx(0.0, abs=1e-12)
+            assert shape.response(1.0) == pytest.approx(1.0, abs=1e-12)
+
+    @given(shape_strategy, st.floats(0.0, 1.0))
+    def test_response_bounded(self, shape, p):
+        assert -1e-12 <= shape.response(p) <= 1.0 + 1e-12
+
+    @given(shape_strategy, st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    def test_monotone(self, shape, p1, p2):
+        lo, hi = min(p1, p2), max(p1, p2)
+        assert shape.response(lo) <= shape.response(hi) + 1e-9
+
+    @given(shape_strategy, st.floats(0.0, 1.0))
+    def test_inflation_is_one_plus_scaled_response(self, shape, p):
+        assert shape.inflation(p) == pytest.approx(
+            1.0 + shape.magnitude * shape.response(p)
+        )
+
+    def test_pressure_clipped(self):
+        shape = SensitivityShape(1.0, CurveShape.LINEAR)
+        assert shape.response(2.0) == 1.0
+        assert shape.response(-1.0) == 0.0
+
+    def test_array_input(self):
+        shape = SensitivityShape(2.0, CurveShape.CONVEX, 2.0)
+        out = shape.response(np.array([0.0, 0.5, 1.0]))
+        assert np.allclose(out, [0.0, 0.25, 1.0])
+
+    def test_insensitive(self):
+        shape = SensitivityShape.insensitive()
+        assert shape.inflation(1.0) == 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SensitivityShape(-0.1, CurveShape.LINEAR)
+        with pytest.raises(ValueError):
+            SensitivityShape(1.0, CurveShape.CONCAVE, 1.5)
+        with pytest.raises(ValueError):
+            SensitivityShape(1.0, CurveShape.CLIFF, 0.99)
+
+    def test_cliff_flat_before_threshold(self):
+        shape = SensitivityShape(1.0, CurveShape.CLIFF, 0.5)
+        assert shape.response(0.4) == 0.0
+        assert shape.response(0.6) > 0.0
+
+    def test_dict_round_trip(self):
+        shape = SensitivityShape(1.5, CurveShape.SIGMOID, 7.0)
+        assert SensitivityShape.from_dict(shape.to_dict()) == shape
+
+
+class TestVectorResponse:
+    @given(st.lists(shape_strategy, min_size=1, max_size=7), st.floats(0.0, 1.0))
+    def test_matches_scalar_path(self, shapes, p):
+        mag, code, param = pack_shapes(shapes)
+        pressures = np.full(len(shapes), p)
+        vec = vector_response(pressures, code, param)
+        scalar = np.array([s.response(p) for s in shapes])
+        assert np.allclose(vec, scalar, atol=1e-12)
+
+    def test_mixed_codes(self):
+        shapes = [
+            SensitivityShape(1.0, CurveShape.LINEAR),
+            SensitivityShape(1.0, CurveShape.SIGMOID, 6.0),
+            SensitivityShape(1.0, CurveShape.CLIFF, 0.3),
+        ]
+        mag, code, param = pack_shapes(shapes)
+        out = vector_response(np.array([0.5, 0.5, 0.5]), code, param)
+        assert out[0] == pytest.approx(0.5)
+        assert 0.0 < out[1] < 1.0
+        assert 0.0 < out[2] < 1.0

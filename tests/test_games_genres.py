@@ -1,0 +1,87 @@
+"""Tests for genre archetypes and the diversity-stretch calibration."""
+
+import pytest
+
+from repro.games.genres import Genre, GenreArchetype, _stretch, genre_archetypes
+from repro.hardware.resources import Resource
+
+
+class TestStretch:
+    def test_widens_both_ends(self):
+        lo, hi = _stretch((1.0, 2.0), 0.7, 1.35)
+        assert lo == pytest.approx(0.7)
+        assert hi == pytest.approx(2.7)
+
+    def test_cap_applies(self):
+        lo, hi = _stretch((0.5, 0.8), 0.7, 1.2, cap=0.85)
+        assert hi == pytest.approx(0.85)
+
+    def test_never_inverts(self):
+        lo, hi = _stretch((0.8, 0.82), 0.7, 1.2, cap=0.5)
+        assert hi > lo
+
+
+class TestArchetypes:
+    @pytest.fixture(scope="class")
+    def archetypes(self):
+        return genre_archetypes()
+
+    def test_every_genre_present(self, archetypes):
+        assert set(archetypes) == set(Genre)
+
+    def test_ranges_well_formed(self, archetypes):
+        for genre, arch in archetypes.items():
+            for field in (
+                "cpu_time_ms",
+                "gpu_fixed_ms",
+                "gpu_per_mpix_ms",
+                "xfer_fixed_ms",
+                "xfer_per_mpix_ms",
+                "width_cpu",
+                "width_gpu",
+                "cpu_mem_gb",
+                "gpu_mem_gb",
+                "scene_rho",
+                "scene_sigma",
+            ):
+                lo, hi = getattr(arch, field)
+                assert lo <= hi, (genre, field)
+                assert lo >= 0, (genre, field)
+
+    def test_util_ranges_capped(self, archetypes):
+        for genre, arch in archetypes.items():
+            for res, (lo, hi) in arch.util.items():
+                assert 0 <= lo <= hi <= 0.85 + 1e-9, (genre, res)
+
+    def test_sensitivity_covers_all_resources(self, archetypes):
+        for arch in archetypes.values():
+            assert set(arch.sensitivity) == set(Resource)
+
+    def test_missing_util_rejected(self):
+        arch = genre_archetypes()[Genre.INDIE]
+        util = dict(arch.util)
+        del util[Resource.PCIE_BW]
+        with pytest.raises(ValueError, match="PCIe-BW"):
+            GenreArchetype(
+                genre=arch.genre,
+                cpu_time_ms=arch.cpu_time_ms,
+                gpu_fixed_ms=arch.gpu_fixed_ms,
+                gpu_per_mpix_ms=arch.gpu_per_mpix_ms,
+                xfer_fixed_ms=arch.xfer_fixed_ms,
+                xfer_per_mpix_ms=arch.xfer_per_mpix_ms,
+                width_cpu=arch.width_cpu,
+                width_gpu=arch.width_gpu,
+                util=util,
+                sensitivity=arch.sensitivity,
+                cpu_mem_gb=arch.cpu_mem_gb,
+                gpu_mem_gb=arch.gpu_mem_gb,
+                scene_rho=arch.scene_rho,
+                scene_sigma=arch.scene_sigma,
+            )
+
+    def test_genre_shapes_differ(self, archetypes):
+        # AAA open-world games must be much heavier than card/casual.
+        aaa = archetypes[Genre.AAA_OPEN_WORLD]
+        card = archetypes[Genre.CARD_CASUAL]
+        assert aaa.gpu_per_mpix_ms[0] > card.gpu_per_mpix_ms[1]
+        assert aaa.cpu_mem_gb[0] > card.cpu_mem_gb[1] * 0.5

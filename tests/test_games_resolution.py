@@ -1,0 +1,53 @@
+"""Tests for resolutions."""
+
+import pytest
+
+from repro.games.resolution import (
+    PRESET_RESOLUTIONS,
+    REFERENCE_RESOLUTION,
+    Resolution,
+)
+
+
+class TestResolution:
+    def test_pixels(self):
+        assert Resolution(1920, 1080).pixels == 2073600
+
+    def test_megapixels(self):
+        assert Resolution(1000, 1000).megapixels == pytest.approx(1.0)
+
+    def test_pixel_ratio_default_reference(self):
+        assert REFERENCE_RESOLUTION.pixel_ratio() == pytest.approx(1.0)
+        assert Resolution(1280, 720).pixel_ratio() == pytest.approx(
+            (1280 * 720) / (1920 * 1080)
+        )
+
+    def test_pixel_ratio_custom_reference(self):
+        assert Resolution(200, 100).pixel_ratio(Resolution(100, 100)) == 2.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Resolution(0, 1080)
+
+    def test_ordering(self):
+        assert Resolution(1280, 720) < Resolution(1920, 1080)
+
+    def test_str(self):
+        assert str(Resolution(1280, 720)) == "1280x720"
+
+    def test_dict_round_trip(self):
+        r = Resolution(1600, 900)
+        assert Resolution.from_dict(r.to_dict()) == r
+
+    def test_hashable(self):
+        assert len({Resolution(1, 1), Resolution(1, 1)}) == 1
+
+
+class TestPresets:
+    def test_reference_in_presets(self):
+        assert REFERENCE_RESOLUTION in PRESET_RESOLUTIONS
+
+    def test_presets_sorted_distinct(self):
+        pixels = [r.pixels for r in PRESET_RESOLUTIONS]
+        assert pixels == sorted(pixels)
+        assert len(set(pixels)) == len(pixels)

@@ -1,0 +1,32 @@
+"""Tests for catalog observation validation."""
+
+import pytest
+
+from repro.games import build_catalog, validate_catalog
+from repro.games.validation import ObservationReport
+
+
+class TestValidateCatalog:
+    @pytest.fixture(scope="class")
+    def reports(self, catalog):
+        return validate_catalog(catalog)
+
+    def test_default_catalog_passes_everything(self, reports):
+        failing = [r for r in reports if not r.passed]
+        assert not failing, [f"{r.observation}: {r.detail}" for r in failing]
+
+    def test_all_observations_covered(self, reports):
+        ids = {r.observation for r in reports}
+        for obs in ("Obs 1", "Obs 2", "Obs 3", "Obs 4", "Obs 6", "Obs 7", "Obs 8"):
+            assert obs in ids
+
+    def test_reports_carry_details(self, reports):
+        for report in reports:
+            assert isinstance(report, ObservationReport)
+            assert report.description
+            assert report.detail
+
+    def test_other_seed_also_passes(self):
+        # The observations are properties of the generator, not one seed.
+        reports = validate_catalog(build_catalog(seed=12345))
+        assert all(r.passed for r in reports)

@@ -1,0 +1,167 @@
+"""Tests for contention combinators, including the Observation 5 invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.contention import (
+    ContentionModel,
+    aggregate_pressure,
+    bandwidth_pressure,
+    cache_pressure,
+    compute_pressure,
+)
+from repro.hardware.resources import NUM_RESOURCES, Resource, ResourceKind
+
+utils = st.lists(st.floats(0.0, 1.0), min_size=0, max_size=6)
+
+
+class TestComputePressure:
+    def test_empty_is_zero(self):
+        assert compute_pressure([]) == 0.0
+
+    def test_single_is_identity(self):
+        assert compute_pressure([0.4]) == pytest.approx(0.4)
+
+    def test_subadditive(self):
+        assert compute_pressure([0.5, 0.5]) == pytest.approx(0.75)
+        assert compute_pressure([0.5, 0.5]) < 1.0
+
+    def test_saturated_corunner(self):
+        assert compute_pressure([1.0, 0.3]) == pytest.approx(1.0)
+
+    @given(utils)
+    def test_bounded(self, us):
+        assert 0.0 <= compute_pressure(us) <= 1.0
+
+    @given(utils, st.floats(0.0, 1.0))
+    def test_monotone_in_new_corunner(self, us, extra):
+        assert compute_pressure(us + [extra]) >= compute_pressure(us) - 1e-12
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=2, max_size=5))
+    def test_symmetric(self, us):
+        assert compute_pressure(us) == pytest.approx(compute_pressure(us[::-1]))
+
+
+class TestBandwidthPressure:
+    def test_additive_below_knee(self):
+        assert bandwidth_pressure([0.2, 0.3], knee=0.65) == pytest.approx(0.5)
+
+    def test_superadditive_past_knee(self):
+        total = bandwidth_pressure([0.4, 0.4], knee=0.65, overshoot=0.35)
+        assert total > 0.8
+
+    def test_caps_at_one(self):
+        assert bandwidth_pressure([0.9, 0.9, 0.9]) == 1.0
+
+    @given(utils)
+    def test_bounded(self, us):
+        assert 0.0 <= bandwidth_pressure(us) <= 1.0
+
+    @given(utils, st.floats(0.0, 1.0))
+    def test_monotone(self, us, extra):
+        assert bandwidth_pressure(us + [extra]) >= bandwidth_pressure(us) - 1e-12
+
+
+class TestCachePressure:
+    def test_empty_is_zero(self):
+        assert cache_pressure([]) == 0.0
+
+    def test_small_footprint_negligible(self):
+        assert cache_pressure([0.05]) < 0.05
+
+    def test_cliff_past_knee(self):
+        below = cache_pressure([0.3])
+        above = cache_pressure([0.3, 0.5])
+        assert above > 2 * below
+
+    @given(utils)
+    def test_bounded(self, us):
+        assert 0.0 <= cache_pressure(us) <= 1.0
+
+    @given(utils, st.floats(0.0, 1.0))
+    def test_monotone(self, us, extra):
+        assert cache_pressure(us + [extra]) >= cache_pressure(us) - 1e-12
+
+
+class TestAggregatePressure:
+    def test_dispatch_by_kind(self):
+        us = [0.5, 0.5]
+        assert aggregate_pressure(Resource.CPU_CE, us) == pytest.approx(
+            compute_pressure(us)
+        )
+        assert aggregate_pressure(Resource.MEM_BW, us) == pytest.approx(
+            bandwidth_pressure(us)
+        )
+        assert aggregate_pressure(Resource.LLC, us) == pytest.approx(
+            cache_pressure(us)
+        )
+
+    def test_rejects_negative_utilization(self):
+        with pytest.raises(ValueError):
+            aggregate_pressure(Resource.CPU_CE, [-0.1])
+
+
+class TestObservation5:
+    """Aggregate intensity must not equal the sum of individual pressures."""
+
+    def test_compute_not_additive(self):
+        single = compute_pressure([0.4])
+        assert compute_pressure([0.4, 0.4]) != pytest.approx(2 * single)
+
+    def test_cache_not_additive(self):
+        single = cache_pressure([0.3])
+        assert cache_pressure([0.3, 0.3]) != pytest.approx(2 * single)
+
+
+class TestContentionModel:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            ContentionModel(cache_knee=0.0)
+        with pytest.raises(ValueError):
+            ContentionModel(bandwidth_overshoot=-1.0)
+
+    def test_pressure_vector_shape(self):
+        model = ContentionModel()
+        rows = np.full((3, NUM_RESOURCES), 0.3)
+        out = model.pressure_vector(rows)
+        assert out.shape == (NUM_RESOURCES,)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_pressure_vector_empty(self):
+        model = ContentionModel()
+        assert np.array_equal(
+            model.pressure_vector(np.zeros((0, NUM_RESOURCES))),
+            np.zeros(NUM_RESOURCES),
+        )
+
+    def test_pressure_vector_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            ContentionModel().pressure_vector(np.zeros((2, 3)))
+
+    def test_leave_one_out_matches_naive(self):
+        model = ContentionModel()
+        rng = np.random.default_rng(0)
+        rows = rng.uniform(0, 1, size=(5, NUM_RESOURCES))
+        fast = model.pressures_leave_one_out(rows)
+        for i in range(5):
+            naive = model.pressure_vector(np.delete(rows, i, axis=0))
+            assert np.allclose(fast[i], naive, atol=1e-12)
+
+    def test_leave_one_out_saturated_corunner(self):
+        # Exercises the exact-fallback path when some 1-u == 0.
+        model = ContentionModel()
+        rows = np.zeros((3, NUM_RESOURCES))
+        rows[0, int(Resource.CPU_CE)] = 1.0
+        rows[1, int(Resource.CPU_CE)] = 0.5
+        out = model.pressures_leave_one_out(rows)
+        assert out[1, int(Resource.CPU_CE)] == pytest.approx(1.0)
+        assert out[0, int(Resource.CPU_CE)] == pytest.approx(0.5)
+
+    def test_leave_one_out_single_row_zero(self):
+        model = ContentionModel()
+        rows = np.full((1, NUM_RESOURCES), 0.9)
+        assert np.array_equal(
+            model.pressures_leave_one_out(rows), np.zeros((1, NUM_RESOURCES))
+        )

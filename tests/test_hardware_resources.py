@@ -1,0 +1,120 @@
+"""Tests for the resource model and ResourceVector."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.resources import (
+    CPU_RESOURCES,
+    GPU_RESOURCES,
+    NUM_RESOURCES,
+    Resource,
+    ResourceDomain,
+    ResourceKind,
+    ResourceVector,
+)
+
+
+class TestResource:
+    def test_seven_resources(self):
+        assert NUM_RESOURCES == 7
+
+    def test_labels_match_paper(self):
+        labels = {r.label for r in Resource}
+        assert labels == {
+            "CPU-CE", "LLC", "MEM-BW", "GPU-CE", "GPU-BW", "GPU-L2", "PCIe-BW",
+        }
+
+    def test_from_label_round_trip(self):
+        for res in Resource:
+            assert Resource.from_label(res.label) is res
+
+    def test_from_label_unknown(self):
+        with pytest.raises(KeyError):
+            Resource.from_label("TPU-CE")
+
+    def test_domains(self):
+        assert Resource.CPU_CE.domain is ResourceDomain.CPU
+        assert Resource.GPU_BW.domain is ResourceDomain.GPU
+        assert Resource.PCIE_BW.domain is ResourceDomain.LINK
+
+    def test_kinds(self):
+        assert Resource.CPU_CE.kind is ResourceKind.COMPUTE
+        assert Resource.LLC.kind is ResourceKind.CACHE
+        assert Resource.GPU_L2.kind is ResourceKind.CACHE
+        assert Resource.MEM_BW.kind is ResourceKind.BANDWIDTH
+        assert Resource.PCIE_BW.kind is ResourceKind.BANDWIDTH
+
+    def test_domain_partitions(self):
+        assert len(CPU_RESOURCES) == 3
+        assert len(GPU_RESOURCES) == 3
+        assert set(CPU_RESOURCES) | set(GPU_RESOURCES) | {Resource.PCIE_BW} == set(
+            Resource
+        )
+
+
+class TestResourceVector:
+    def test_default_zero(self):
+        vec = ResourceVector()
+        assert all(v == 0.0 for v in vec)
+
+    def test_from_mapping(self):
+        vec = ResourceVector({Resource.GPU_CE: 0.5})
+        assert vec[Resource.GPU_CE] == 0.5
+        assert vec[Resource.CPU_CE] == 0.0
+
+    def test_from_sequence(self):
+        vec = ResourceVector([0.1] * NUM_RESOURCES)
+        assert vec[Resource.LLC] == pytest.approx(0.1)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="7"):
+            ResourceVector([0.1, 0.2])
+
+    def test_non_finite_rejected(self):
+        values = [0.0] * NUM_RESOURCES
+        values[2] = float("nan")
+        with pytest.raises(ValueError, match="finite"):
+            ResourceVector(values)
+
+    def test_arithmetic(self):
+        a = ResourceVector([1.0] * NUM_RESOURCES)
+        b = ResourceVector([2.0] * NUM_RESOURCES)
+        assert (a + b)[Resource.CPU_CE] == 3.0
+        assert (b - a)[Resource.CPU_CE] == 1.0
+        assert (2 * a)[Resource.CPU_CE] == 2.0
+
+    def test_equality(self):
+        assert ResourceVector([1.0] * 7) == ResourceVector([1.0] * 7)
+        assert ResourceVector([1.0] * 7) != ResourceVector([2.0] * 7)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(ResourceVector())
+
+    def test_clip(self):
+        vec = ResourceVector([-1.0, 0.5, 2.0, 0.0, 0.0, 0.0, 0.0]).clip(0.0, 1.0)
+        assert vec[Resource.CPU_CE] == 0.0
+        assert vec[Resource.LLC] == 1.0
+
+    def test_values_read_only(self):
+        vec = ResourceVector([1.0] * 7)
+        with pytest.raises(ValueError):
+            vec.values[0] = 5.0
+
+    def test_dominates(self):
+        big = ResourceVector([1.0] * 7)
+        small = ResourceVector([0.5] * 7)
+        assert big.dominates(small)
+        assert not small.dominates(big)
+
+    def test_scale_selected(self):
+        vec = ResourceVector([1.0] * 7).scale({Resource.GPU_CE: 0.5})
+        assert vec[Resource.GPU_CE] == 0.5
+        assert vec[Resource.CPU_CE] == 1.0
+
+    def test_dict_round_trip(self):
+        vec = ResourceVector({Resource.MEM_BW: 0.3, Resource.GPU_L2: 0.7})
+        assert ResourceVector.from_dict(vec.to_dict()) == vec
+
+    def test_repr_contains_labels(self):
+        assert "GPU-CE" in repr(ResourceVector())

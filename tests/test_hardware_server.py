@@ -1,0 +1,51 @@
+"""Tests for server specifications."""
+
+import pytest
+
+from repro.hardware.resources import Resource, ResourceVector
+from repro.hardware.server import DEFAULT_SERVER, ServerSpec, server_catalog
+
+
+class TestServerSpec:
+    def test_default_is_reference(self):
+        assert DEFAULT_SERVER.cpu_scale == 1.0
+        assert DEFAULT_SERVER.gpu_scale == 1.0
+        assert DEFAULT_SERVER.cpu_mem_gb == 8.0
+        assert DEFAULT_SERVER.gpu_mem_gb == 6.0
+
+    @pytest.mark.parametrize(
+        "field", ["cpu_scale", "gpu_scale", "link_scale", "cpu_mem_gb", "gpu_mem_gb"]
+    )
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(ValueError, match=field):
+            ServerSpec(**{field: 0.0})
+
+    def test_domain_scale(self):
+        spec = ServerSpec(cpu_scale=2.0, gpu_scale=3.0, link_scale=1.5)
+        assert spec.domain_scale(Resource.CPU_CE) == 2.0
+        assert spec.domain_scale(Resource.LLC) == 2.0
+        assert spec.domain_scale(Resource.GPU_BW) == 3.0
+        assert spec.domain_scale(Resource.PCIE_BW) == 1.5
+
+    def test_normalize_utilization(self):
+        spec = ServerSpec(gpu_scale=2.0)
+        util = ResourceVector({Resource.GPU_CE: 0.8, Resource.CPU_CE: 0.5})
+        scaled = spec.normalize_utilization(util)
+        assert scaled[Resource.GPU_CE] == pytest.approx(0.4)
+        assert scaled[Resource.CPU_CE] == pytest.approx(0.5)
+
+    def test_dict_round_trip(self):
+        spec = ServerSpec(name="x", cpu_scale=1.2)
+        assert ServerSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestServerCatalog:
+    def test_contains_reference(self):
+        catalog = server_catalog()
+        assert DEFAULT_SERVER.name in catalog
+
+    def test_three_tiers(self):
+        catalog = server_catalog()
+        assert len(catalog) == 3
+        scales = sorted(s.gpu_scale for s in catalog.values())
+        assert scales[0] < 1.0 < scales[-1]

@@ -1,0 +1,88 @@
+"""End-to-end integration tests over the miniature lab.
+
+These check the paper's headline *shape* claims hold on the full pipeline:
+profiling -> training -> prediction -> scheduling, at reduced scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.evalutils import baseline_sample_predictions
+from repro.scheduling import (
+    actual_feasibility,
+    enumerate_colocations,
+    generate_requests,
+    judge_feasibility,
+    pack_requests,
+    score_judgements,
+)
+
+
+@pytest.fixture(scope="module")
+def rm_eval(minilab):
+    _, _, rm_tr, rm_te = minilab.split(60.0)
+    pred = minilab.rm_model.predict_from_features(rm_te.X)
+    return rm_te, pred
+
+
+class TestRegressionQuality:
+    def test_rm_error_in_paper_ballpark(self, rm_eval):
+        rm_te, pred = rm_eval
+        error = float(np.mean(np.abs(pred - rm_te.y) / rm_te.y))
+        assert error < 0.20  # paper: 7.9% at full scale; minilab is tiny
+
+    def test_rm_beats_sigmoid(self, minilab, rm_eval):
+        rm_te, pred = rm_eval
+        gaugur = float(np.mean(np.abs(pred - rm_te.y) / rm_te.y))
+        sigmoid = baseline_sample_predictions(lab=minilab, predictor=minilab.sigmoid)
+        assert gaugur < float(np.mean(sigmoid.relative_errors))
+
+    def test_rm_beats_smite(self, minilab, rm_eval):
+        rm_te, pred = rm_eval
+        gaugur = float(np.mean(np.abs(pred - rm_te.y) / rm_te.y))
+        smite = baseline_sample_predictions(lab=minilab, predictor=minilab.smite)
+        assert gaugur < float(np.mean(smite.relative_errors))
+
+
+class TestClassificationQuality:
+    def test_cm_accuracy_high(self, minilab):
+        _, cm_te, _, _ = minilab.split(60.0)
+        pred = minilab.cm_model.predict_from_features(cm_te.X)
+        assert float(np.mean(pred == cm_te.y)) > 0.85
+
+
+class TestFeasibilityStudy:
+    @pytest.fixture(scope="class")
+    def study(self, minilab):
+        names = minilab.names[:6]
+        colocations = enumerate_colocations(names, max_size=3)
+        actual = actual_feasibility(minilab.catalog, colocations, qos=60.0)
+        return names, colocations, actual
+
+    def test_cm_judgement_quality(self, minilab, study):
+        _, colocations, actual = study
+        judged = judge_feasibility(minilab.predictor, colocations, 60.0)
+        report = score_judgements(actual, judged)
+        assert report.accuracy > 0.8
+
+    def test_cm_beats_vbp_recall(self, minilab, study):
+        _, colocations, actual = study
+        if actual.sum() == 0:
+            pytest.skip("no feasible colocations at this scale")
+        cm = score_judgements(
+            actual, judge_feasibility(minilab.predictor, colocations, 60.0)
+        )
+        vbp = score_judgements(
+            actual, judge_feasibility(minilab.vbp, colocations, 60.0)
+        )
+        assert cm.recall >= vbp.recall
+
+    def test_packing_beats_dedicated(self, minilab, study):
+        names, colocations, actual = study
+        judged = judge_feasibility(minilab.predictor, colocations, 60.0)
+        usable = [c for c, a, j in zip(colocations, actual, judged) if a and j]
+        requests = generate_requests(names, 300, seed=0)
+        result = pack_requests(requests, usable)
+        assert result.n_servers <= 300
+        if usable:
+            assert result.n_servers < 300

@@ -1,0 +1,76 @@
+"""Tests for the estimator base protocol and input validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeRegressor, check_array, check_X_y
+from repro.ml.base import BaseEstimator
+
+
+class TestCheckArray:
+    def test_promotes_1d_to_row(self):
+        out = check_array(np.arange(3.0))
+        assert out.shape == (1, 3)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_array(np.zeros((0, 3)))
+
+    def test_rejects_inf(self):
+        bad = np.zeros((2, 2))
+        bad[1, 1] = np.inf
+        with pytest.raises(ValueError, match="NaN or infinity"):
+            check_array(bad)
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValueError, match="features"):
+            check_array(np.zeros((2, 2, 2)), name="features")
+
+
+class TestCheckXy:
+    def test_aligned_pass_through(self):
+        X, y = check_X_y([[1.0, 2.0]], [3.0])
+        assert X.shape == (1, 2)
+        assert y.shape == (1,)
+
+    def test_rejects_2d_y(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_X_y(np.zeros((2, 2)), np.zeros((2, 1)))
+
+    def test_rejects_nan_y(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.zeros((2, 2)), [np.nan, 1.0])
+
+    def test_allows_string_y(self):
+        _, y = check_X_y(np.zeros((2, 2)), np.array(["a", "b"]))
+        assert list(y) == ["a", "b"]
+
+
+class TestBaseEstimator:
+    def test_get_params_excludes_fitted_state(self):
+        model = DecisionTreeRegressor(max_depth=3)
+        model.fit(np.arange(10.0).reshape(-1, 1), np.arange(10.0))
+        params = model.get_params()
+        assert "max_depth" in params
+        assert not any(k.endswith("_") for k in params)
+
+    def test_clone_overrides(self):
+        model = DecisionTreeRegressor(max_depth=3, seed=7)
+        clone = model.clone(max_depth=9)
+        assert clone.max_depth == 9
+        assert clone.seed == 7
+
+    def test_repr_lists_params(self):
+        model = DecisionTreeRegressor(max_depth=3)
+        assert "max_depth=3" in repr(model)
+
+    def test_check_fitted_error(self):
+        class Dummy(BaseEstimator):
+            pass
+
+        with pytest.raises(RuntimeError, match="fit"):
+            Dummy()._check_fitted("state_")

@@ -1,0 +1,78 @@
+"""Tests for ALS matrix completion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import ALSMatrixCompletion
+
+
+def _low_rank(n, m, rank, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    U = rng.normal(size=(n, rank))
+    V = rng.normal(size=(m, rank))
+    M = U @ V.T
+    if noise:
+        M = M + rng.normal(0.0, noise, size=M.shape)
+    return M
+
+
+class TestALS:
+    def test_recovers_low_rank_matrix(self):
+        M = _low_rank(40, 30, rank=3)
+        rng = np.random.default_rng(1)
+        mask = rng.random(M.shape) < 0.6
+        model = ALSMatrixCompletion(rank=3, reg=0.01, n_iters=60, seed=0).fit(M, mask)
+        recon = model.reconstruct()
+        hidden = ~mask
+        rmse = np.sqrt(np.mean((recon[hidden] - M[hidden]) ** 2))
+        scale = np.std(M)
+        assert rmse < 0.15 * scale
+
+    def test_training_error_decreases(self):
+        M = _low_rank(20, 15, rank=2, noise=0.05)
+        mask = np.random.default_rng(2).random(M.shape) < 0.7
+        model = ALSMatrixCompletion(rank=2, n_iters=20).fit(M, mask)
+        assert model.train_errors_[-1] <= model.train_errors_[0]
+
+    def test_full_observation_near_exact(self):
+        M = _low_rank(15, 12, rank=2)
+        mask = np.ones(M.shape, dtype=bool)
+        model = ALSMatrixCompletion(rank=2, reg=1e-4, n_iters=50).fit(M, mask)
+        assert np.allclose(model.reconstruct(), M, atol=0.05 * np.std(M) + 0.05)
+
+    def test_unobserved_row_gets_mean(self):
+        M = _low_rank(10, 8, rank=2)
+        mask = np.ones(M.shape, dtype=bool)
+        mask[3, :] = False
+        model = ALSMatrixCompletion(rank=2, n_iters=10).fit(M, mask)
+        recon = model.reconstruct()
+        # A fully hidden row has zero factors -> reconstructed as the mean.
+        assert np.allclose(recon[3], model.mean_)
+
+    def test_validation(self):
+        M = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            ALSMatrixCompletion(rank=0)
+        with pytest.raises(ValueError):
+            ALSMatrixCompletion().fit(M, np.zeros((3, 3), dtype=bool))
+        with pytest.raises(ValueError):
+            ALSMatrixCompletion().fit(M, np.ones((2, 2), dtype=bool))
+        bad = M.copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            ALSMatrixCompletion().fit(bad, np.ones((3, 3), dtype=bool))
+
+    def test_reconstruct_before_fit(self):
+        with pytest.raises(RuntimeError):
+            ALSMatrixCompletion().reconstruct()
+
+    @given(st.integers(1, 4))
+    @settings(max_examples=5, deadline=None)
+    def test_rank_parameter_respected(self, rank):
+        M = _low_rank(12, 10, rank=4)
+        mask = np.ones(M.shape, dtype=bool)
+        model = ALSMatrixCompletion(rank=rank, n_iters=5).fit(M, mask)
+        assert model.U_.shape == (12, rank)
+        assert model.V_.shape == (10, rank)

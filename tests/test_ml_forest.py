@@ -1,0 +1,87 @@
+"""Tests for random forests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import RandomForestClassifier, RandomForestRegressor
+
+
+def _friedman(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, 5))
+    y = 10 * np.sin(np.pi * X[:, 0] * X[:, 1]) + 20 * (X[:, 2] - 0.5) ** 2
+    return X, y
+
+
+class TestRandomForestRegressor:
+    def test_better_than_single_stump_forest(self):
+        X, y = _friedman()
+        Xte, yte = _friedman(seed=1)
+        small = RandomForestRegressor(n_estimators=3, max_depth=2, seed=0).fit(X, y)
+        big = RandomForestRegressor(n_estimators=40, max_depth=10, seed=0).fit(X, y)
+        mse_small = np.mean((small.predict(Xte) - yte) ** 2)
+        mse_big = np.mean((big.predict(Xte) - yte) ** 2)
+        assert mse_big < mse_small
+
+    def test_deterministic_given_seed(self):
+        X, y = _friedman(100)
+        a = RandomForestRegressor(n_estimators=5, seed=42).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=5, seed=42).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_model(self):
+        X, y = _friedman(100)
+        a = RandomForestRegressor(n_estimators=5, seed=1).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=5, seed=2).fit(X, y).predict(X)
+        assert not np.array_equal(a, b)
+
+    def test_no_bootstrap_full_trees_fit_exactly(self):
+        X, y = _friedman(80)
+        forest = RandomForestRegressor(
+            n_estimators=3, bootstrap=False, max_features=None, seed=0
+        ).fit(X, y)
+        assert np.allclose(forest.predict(X), y)
+
+    def test_importances_normalized(self):
+        X, y = _friedman(200)
+        forest = RandomForestRegressor(n_estimators=10, seed=0).fit(X, y)
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+
+
+class TestRandomForestClassifier:
+    def test_learns_separable_data(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 4))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        forest = RandomForestClassifier(n_estimators=25, seed=0).fit(X, y)
+        assert np.mean(forest.predict(X) == y) > 0.95
+
+    def test_predict_proba_valid(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(int)
+        forest = RandomForestClassifier(n_estimators=10, seed=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0)
+
+    def test_bootstrap_class_absence_handled(self):
+        # With tiny data some bootstrap draws miss a class entirely; the
+        # soft vote must still map probabilities onto the full class set.
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 0, 1])
+        forest = RandomForestClassifier(n_estimators=30, seed=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (4, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_string_labels(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(80, 2))
+        y = np.where(X[:, 0] > 0, "hi", "lo")
+        forest = RandomForestClassifier(n_estimators=15, seed=0).fit(X, y)
+        assert set(forest.predict(X)) <= {"hi", "lo"}

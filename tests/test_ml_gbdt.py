@@ -1,0 +1,111 @@
+"""Tests for gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GradientBoostingClassifier, GradientBoostingRegressor
+
+
+def _regression_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-2, 2, size=(n, 4))
+    y = np.sin(X[:, 0]) + 0.5 * X[:, 1] + 0.05 * rng.normal(size=n)
+    return X, y
+
+
+class TestGradientBoostingRegressor:
+    def test_train_loss_decreases(self):
+        X, y = _regression_data()
+        model = GradientBoostingRegressor(n_estimators=50).fit(X, y)
+        losses = model.train_losses_
+        assert losses[-1] < losses[0]
+        assert losses[-1] < 0.05
+
+    def test_more_stages_better_train_fit(self):
+        X, y = _regression_data()
+        few = GradientBoostingRegressor(n_estimators=10).fit(X, y)
+        many = GradientBoostingRegressor(n_estimators=100).fit(X, y)
+        assert many.train_losses_[-1] < few.train_losses_[-1]
+
+    def test_generalizes(self):
+        X, y = _regression_data()
+        Xte, yte = _regression_data(seed=1)
+        model = GradientBoostingRegressor(n_estimators=150).fit(X, y)
+        rmse = np.sqrt(np.mean((model.predict(Xte) - yte) ** 2))
+        assert rmse < 0.2
+
+    def test_init_is_mean(self):
+        X, y = _regression_data(100)
+        model = GradientBoostingRegressor(n_estimators=1).fit(X, y)
+        assert model.init_ == pytest.approx(y.mean())
+
+    def test_subsample_runs(self):
+        X, y = _regression_data(200)
+        model = GradientBoostingRegressor(n_estimators=20, subsample=0.5).fit(X, y)
+        assert model.predict(X).shape == (200,)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_estimators": 0},
+            {"learning_rate": 0.0},
+            {"learning_rate": 1.5},
+            {"subsample": 0.0},
+        ],
+    )
+    def test_invalid_hyperparameters(self, kwargs):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(**kwargs)
+
+
+class TestGradientBoostingClassifier:
+    def _data(self, n=400, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 4))
+        y = ((X[:, 0] ** 2 + X[:, 1] ** 2) > 1.5).astype(int)
+        return X, y
+
+    def test_learns_nonlinear_boundary(self):
+        X, y = self._data()
+        Xte, yte = self._data(seed=1)
+        model = GradientBoostingClassifier(n_estimators=150).fit(X, y)
+        assert np.mean(model.predict(Xte) == yte) > 0.9
+
+    def test_log_loss_decreases(self):
+        X, y = self._data()
+        model = GradientBoostingClassifier(n_estimators=50).fit(X, y)
+        assert model.train_losses_[-1] < model.train_losses_[0]
+
+    def test_predict_proba_valid(self):
+        X, y = self._data(100)
+        model = GradientBoostingClassifier(n_estimators=20).fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (100, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_decision_function_sign_matches_prediction(self):
+        X, y = self._data(100)
+        model = GradientBoostingClassifier(n_estimators=20).fit(X, y)
+        scores = model.decision_function(X)
+        pred = model.predict(X)
+        assert np.array_equal(pred == model.classes_[1], scores >= 0)
+
+    def test_string_labels(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(100, 2))
+        y = np.where(X[:, 0] > 0, "pass", "fail")
+        model = GradientBoostingClassifier(n_estimators=30).fit(X, y)
+        assert set(model.predict(X)) <= {"pass", "fail"}
+
+    def test_multiclass_rejected(self):
+        X = np.zeros((6, 2))
+        y = np.array([0, 1, 2, 0, 1, 2])
+        with pytest.raises(ValueError, match="binary"):
+            GradientBoostingClassifier().fit(X, y)
+
+    def test_newton_leaf_updates_beat_plain_means(self):
+        # With Newton updates a small ensemble should already be accurate.
+        X, y = self._data()
+        model = GradientBoostingClassifier(n_estimators=30).fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.9

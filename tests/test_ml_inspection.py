@@ -1,0 +1,60 @@
+"""Tests for permutation importance."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeRegressor, permutation_importance
+
+
+class TestPermutationImportance:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(400, 4))
+        y = 3.0 * X[:, 1] + 0.1 * rng.normal(size=400)  # only feature 1 matters
+        model = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        return model, X, y
+
+    def test_identifies_informative_feature(self, setup):
+        model, X, y = setup
+        imp = permutation_importance(
+            model.predict,
+            X,
+            y,
+            metric=lambda a, b: float(np.mean((a - b) ** 2)),
+            rng=np.random.default_rng(1),
+        )
+        assert np.argmax(imp) == 1
+        assert imp[1] > 10 * max(abs(imp[0]), abs(imp[2]), abs(imp[3]), 1e-9)
+
+    def test_uninformative_features_near_zero(self, setup):
+        model, X, y = setup
+        imp = permutation_importance(
+            model.predict,
+            X,
+            y,
+            metric=lambda a, b: float(np.mean((a - b) ** 2)),
+            rng=np.random.default_rng(2),
+        )
+        for j in (0, 2, 3):
+            assert abs(imp[j]) < 0.1 * imp[1]
+
+    def test_input_not_mutated(self, setup):
+        model, X, y = setup
+        X_copy = X.copy()
+        permutation_importance(
+            model.predict,
+            X,
+            y,
+            metric=lambda a, b: float(np.mean((a - b) ** 2)),
+            n_repeats=2,
+            rng=np.random.default_rng(3),
+        )
+        assert np.array_equal(X, X_copy)
+
+    def test_invalid_repeats(self, setup):
+        model, X, y = setup
+        with pytest.raises(ValueError):
+            permutation_importance(
+                model.predict, X, y, metric=lambda a, b: 0.0, n_repeats=0
+            )

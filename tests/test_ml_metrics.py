@@ -1,0 +1,171 @@
+"""Tests for metrics, preprocessing and model selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    KFold,
+    StandardScaler,
+    accuracy_score,
+    confusion_counts,
+    cross_val_score,
+    mean_absolute_error,
+    mean_relative_error,
+    precision_score,
+    r2_score,
+    recall_score,
+    relative_errors,
+    train_test_split,
+)
+from repro.ml.metrics import f1_score
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1, 1], [1, 0, 0, 1]) == 0.75
+
+    def test_confusion_counts(self):
+        c = confusion_counts([1, 1, 0, 0], [1, 0, 1, 0])
+        assert c == {"tp": 1, "fp": 1, "fn": 1, "tn": 1}
+
+    def test_precision_recall(self):
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_degenerate_cases(self):
+        assert precision_score([0, 0], [0, 0]) == 0.0
+        assert recall_score([0, 0], [1, 1]) == 0.0
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_f1_harmonic_mean(self):
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 0, 0, 0]
+        p = precision_score(y_true, y_pred)
+        r = recall_score(y_true, y_pred)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 * p * r / (p + r))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 0], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestRegressionMetrics:
+    def test_relative_errors_is_papers_formula(self):
+        errors = relative_errors([0.5, 1.0], [0.4, 1.1])
+        assert np.allclose(errors, [0.2, 0.1])
+
+    def test_mean_relative_error(self):
+        assert mean_relative_error([0.5, 1.0], [0.4, 1.1]) == pytest.approx(0.15)
+
+    def test_relative_error_needs_positive_actual(self):
+        with pytest.raises(ValueError):
+            relative_errors([0.0, 1.0], [0.1, 1.0])
+
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 0.0]) == pytest.approx(1.5)
+
+    def test_r2_perfect(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_r2_mean_predictor_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    @given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=30))
+    @settings(max_examples=25)
+    def test_perfect_prediction_zero_error(self, values):
+        assert mean_relative_error(values, values) == 0.0
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(3.0, 5.0, size=(200, 4))
+        Xs = StandardScaler().fit_transform(X)
+        assert np.allclose(Xs.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Xs.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_no_nan(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Xs = StandardScaler().fit_transform(X)
+        assert np.isfinite(Xs).all()
+        assert np.allclose(Xs[:, 0], 0.0)
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_feature_count_mismatch(self):
+        scaler = StandardScaler().fit(np.zeros((5, 3)) + np.arange(5)[:, None])
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform(np.zeros((2, 4)))
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(40, dtype=float).reshape(-1, 2)
+        y = np.arange(20)
+        Xtr, Xte, ytr, yte = train_test_split(
+            X, y, test_size=0.25, rng=np.random.default_rng(0)
+        )
+        assert len(Xte) == 5 and len(Xtr) == 15
+        assert len(ytr) == 15 and len(yte) == 5
+
+    def test_partition_is_exact(self):
+        X = np.arange(30, dtype=float).reshape(-1, 1)
+        y = np.arange(30)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, rng=np.random.default_rng(1))
+        assert sorted(np.concatenate([ytr, yte]).tolist()) == list(range(30))
+
+    def test_invalid_test_size(self):
+        X, y = np.zeros((10, 1)) + np.arange(10)[:, None], np.arange(10)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=1.5)
+
+
+class TestKFold:
+    def test_folds_partition(self):
+        kf = KFold(n_splits=4, seed=0)
+        seen = []
+        for train, test in kf.split(20):
+            assert set(train) | set(test) == set(range(20))
+            assert not set(train) & set(test)
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(20))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_invalid_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_cross_val_score_runs(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 3))
+        y = X[:, 0] * 2.0
+        scores = cross_val_score(
+            DecisionTreeRegressor(max_depth=4),
+            X,
+            y,
+            metric=lambda a, b: float(np.mean(np.abs(a - b))),
+            cv=KFold(n_splits=3, seed=0),
+        )
+        assert scores.shape == (3,)
+        assert np.all(scores >= 0)

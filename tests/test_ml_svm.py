@@ -1,0 +1,109 @@
+"""Tests for the kernel machines."""
+
+import numpy as np
+import pytest
+
+from repro.ml import SVC, SVR, StandardScaler
+from repro.ml.svm import linear_kernel, rbf_kernel
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_one(self):
+        A = np.random.default_rng(0).normal(size=(10, 3))
+        K = rbf_kernel(A, A, gamma=0.5)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_rbf_symmetric_psd(self):
+        A = np.random.default_rng(1).normal(size=(15, 4))
+        K = rbf_kernel(A, A, gamma=1.0)
+        assert np.allclose(K, K.T)
+        eigvals = np.linalg.eigvalsh(K)
+        assert eigvals.min() > -1e-8
+
+    def test_rbf_decays_with_distance(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.1, 0.0], [3.0, 0.0]])
+        K = rbf_kernel(a, b, gamma=1.0)
+        assert K[0, 0] > K[0, 1]
+
+    def test_linear_kernel(self):
+        A = np.array([[1.0, 2.0]])
+        B = np.array([[3.0, 4.0]])
+        assert linear_kernel(A, B)[0, 0] == pytest.approx(11.0)
+
+
+class TestSVC:
+    def _ring_data(self, n=200, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 2))
+        y = (np.linalg.norm(X, axis=1) > 1.2).astype(int)
+        return X, y
+
+    def test_learns_nonlinear_boundary(self):
+        X, y = self._ring_data()
+        model = SVC(C=10.0).fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.9
+
+    def test_linear_kernel_on_linear_data(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(150, 3))
+        y = (X @ np.array([1.0, -2.0, 0.5]) > 0).astype(int)
+        model = SVC(C=10.0, kernel="linear").fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.95
+
+    def test_decision_function_sign(self):
+        X, y = self._ring_data(100)
+        model = SVC(C=5.0).fit(X, y)
+        scores = model.decision_function(X)
+        assert np.array_equal(model.predict(X) == model.classes_[1], scores >= 0)
+
+    def test_multiclass_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            SVC().fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SVC(C=0.0)
+        with pytest.raises(ValueError):
+            SVC(kernel="poly")
+        with pytest.raises(ValueError):
+            SVC(gamma=-1.0).fit(np.zeros((4, 2)) + np.arange(4)[:, None], [0, 0, 1, 1])
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            SVC().predict(np.zeros((1, 2)))
+
+
+class TestSVR:
+    def test_fits_smooth_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-3, 3, size=(200, 1))
+        y = np.sin(X[:, 0])
+        scaler = StandardScaler()
+        Xs = scaler.fit_transform(X)
+        model = SVR(C=50.0, epsilon=0.01).fit(Xs, y)
+        rmse = np.sqrt(np.mean((model.predict(Xs) - y) ** 2))
+        assert rmse < 0.1
+
+    def test_epsilon_tube_tolerance(self):
+        # With a huge epsilon every residual is inside the tube and the
+        # regularizer pulls the function flat to the intercept.
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0]
+        model = SVR(C=1.0, epsilon=10.0).fit(X, y)
+        assert np.std(model.predict(X)) < 0.2
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            SVR(epsilon=-0.1)
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            SVR(smoothing=0.0)
+
+    def test_gamma_scale_on_constant_features(self):
+        X = np.ones((10, 2))
+        y = np.arange(10, dtype=float)
+        model = SVR().fit(X, y)  # var == 0 -> gamma falls back to 1.0
+        assert model.gamma_ == 1.0

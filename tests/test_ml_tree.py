@@ -1,0 +1,143 @@
+"""Tests for the CART implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+def _xor_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_training_data_exactly_when_unbounded(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 3))
+        y = rng.normal(size=50)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+
+    def test_max_depth_zero_predicts_mean(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.arange(10, dtype=float)
+        tree = DecisionTreeRegressor(max_depth=0).fit(X, y)
+        assert np.allclose(tree.predict(X), y.mean())
+
+    def test_single_split(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 10.0, 10.0])
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+        assert tree.n_leaves_ == 2
+
+    def test_min_samples_leaf_respected(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+        tree = DecisionTreeRegressor(min_samples_leaf=10).fit(X, y)
+        leaves, counts = np.unique(tree.apply(X), return_counts=True)
+        assert counts.min() >= 10
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(2).normal(size=(30, 2))
+        tree = DecisionTreeRegressor().fit(X, np.ones(30))
+        assert tree.n_leaves_ == 1
+
+    def test_constant_features_single_leaf(self):
+        X = np.ones((30, 3))
+        y = np.arange(30, dtype=float)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.n_leaves_ == 1
+
+    def test_feature_importances_identify_signal(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(300, 5))
+        y = 3.0 * X[:, 2] + 0.01 * rng.normal(size=300)
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        assert np.argmax(tree.feature_importances_) == 2
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_depth_property(self):
+        X = np.arange(8, dtype=float).reshape(-1, 1)
+        y = np.array([0, 0, 1, 1, 2, 2, 3, 3], dtype=float)
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert tree.depth_ <= 2
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_deeper_never_worse_on_train(self, depth):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(120, 3))
+        y = np.sin(X[:, 0]) + X[:, 1] ** 2
+        shallow = DecisionTreeRegressor(max_depth=depth).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=depth + 1).fit(X, y)
+        mse_s = np.mean((shallow.predict(X) - y) ** 2)
+        mse_d = np.mean((deep.predict(X) - y) ** 2)
+        assert mse_d <= mse_s + 1e-12
+
+
+class TestDecisionTreeClassifier:
+    def test_learns_xor(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert np.mean(tree.predict(X) == y) > 0.95
+
+    def test_predict_proba_rows_sum_to_one(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert proba.shape == (len(X), 2)
+
+    def test_string_labels(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array(["cat", "cat", "dog", "dog"])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert list(tree.predict(X)) == ["cat", "cat", "dog", "dog"]
+
+    def test_multiclass(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0], [4.0], [5.0]])
+        y = np.array([0, 0, 1, 1, 2, 2])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert np.array_equal(tree.predict(X), y)
+        assert tree.predict_proba(X).shape == (6, 3)
+
+    def test_max_features_subsampling_runs(self):
+        X, y = _xor_data(200)
+        tree = DecisionTreeClassifier(max_features="sqrt", seed=3).fit(X, y)
+        assert tree.predict(X).shape == (200,)
+
+    def test_invalid_max_features(self):
+        X, y = _xor_data(50)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_features=0).fit(X, y)
+
+
+class TestInputValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_nan_rejected(self):
+        X = np.zeros((5, 2))
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(X, np.zeros(5))
+
+    def test_clone_resets_state(self):
+        X, y = _xor_data(50)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        clone = tree.clone(max_depth=5)
+        assert clone.max_depth == 5
+        with pytest.raises(RuntimeError):
+            clone.predict(X)

@@ -1,0 +1,50 @@
+"""Exactness tests: the CART split search matches brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import DecisionTreeRegressor
+
+
+def _brute_force_best_sse(X: np.ndarray, y: np.ndarray) -> float:
+    """Minimum total SSE over every possible single axis-aligned split."""
+    best = float(np.sum((y - y.mean()) ** 2))  # no-split fallback
+    n = len(y)
+    for j in range(X.shape[1]):
+        values = np.unique(X[:, j])
+        for threshold in (values[:-1] + values[1:]) / 2:
+            left = X[:, j] <= threshold
+            if not left.any() or left.all():
+                continue
+            sse = float(
+                np.sum((y[left] - y[left].mean()) ** 2)
+                + np.sum((y[~left] - y[~left].mean()) ** 2)
+            )
+            best = min(best, sse)
+    return best
+
+
+class TestSplitExactness:
+    @given(
+        st.integers(0, 10_000),
+        st.integers(8, 40),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_depth_one_matches_brute_force(self, seed, n, p):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, p)).round(1)  # ties exercise the scan
+        y = rng.normal(size=n)
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        pred = tree.predict(X)
+        tree_sse = float(np.sum((y - pred) ** 2))
+        assert tree_sse == pytest.approx(_brute_force_best_sse(X, y), abs=1e-8)
+
+    def test_threshold_is_midpoint(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([0.0, 0.0, 5.0, 5.0])
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        node_threshold = tree.tree_.threshold[0]
+        assert node_threshold == pytest.approx(5.5)

@@ -1,0 +1,47 @@
+"""Tests for the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.hardware",
+            "repro.games",
+            "repro.bench",
+            "repro.simulator",
+            "repro.profiling",
+            "repro.ml",
+            "repro.core",
+            "repro.baselines",
+            "repro.scheduling",
+            "repro.experiments",
+            "repro.utils",
+        ],
+    )
+    def test_subpackage_alls_resolve(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__, f"{module} missing docstring"
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_public_callables_documented(self):
+        # Every public item exported at the top level carries a docstring.
+        for name in repro.__all__:
+            if name.startswith("__"):
+                continue
+            obj = getattr(repro, name)
+            if callable(obj):
+                assert obj.__doc__, f"repro.{name} missing docstring"

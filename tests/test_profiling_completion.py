@@ -1,0 +1,87 @@
+"""Tests for collaborative-filtering profile completion."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.resources import NUM_RESOURCES, Resource
+from repro.profiling import complete_profiles, profile_feature_matrix
+
+OBSERVED = (Resource.CPU_CE, Resource.GPU_CE)
+
+
+class TestFeatureMatrix:
+    def test_shape(self, minilab):
+        M = profile_feature_matrix(minilab.db)
+        samples = len(
+            next(iter(minilab.db.profiles()[0].sensitivity.values())).pressures
+        )
+        n_res = len(minilab.db.profiles()[0].profiled_resolutions)
+        assert M.shape == (
+            len(minilab.db),
+            NUM_RESOURCES * samples + n_res * NUM_RESOURCES,
+        )
+        assert np.isfinite(M).all()
+
+
+class TestCompleteProfiles:
+    @pytest.fixture(scope="class")
+    def completed(self, minilab):
+        partial = minilab.names[:3]
+        db = complete_profiles(
+            minilab.db, {name: OBSERVED for name in partial}, rank=4
+        )
+        return partial, db
+
+    def test_passthrough_for_full_games(self, minilab, completed):
+        partial, db = completed
+        for name in minilab.names:
+            if name in partial:
+                continue
+            assert db.get(name) is minilab.db.get(name)
+
+    def test_observed_resources_untouched(self, minilab, completed):
+        partial, db = completed
+        for name in partial:
+            for res in OBSERVED:
+                assert (
+                    db.get(name).sensitivity[res]
+                    == minilab.db.get(name).sensitivity[res]
+                )
+
+    def test_hidden_resources_replaced_and_plausible(self, minilab, completed):
+        partial, db = completed
+        for name in partial:
+            for res in Resource:
+                if res in OBSERVED:
+                    continue
+                curve = db.get(name).sensitivity[res]
+                assert all(0.0 <= v <= 1.5 for v in curve.degradations)
+
+    def test_reconstruction_correlates_with_truth(self, minilab, completed):
+        partial, db = completed
+        truths, recons = [], []
+        for name in partial:
+            for res in Resource:
+                if res in OBSERVED:
+                    continue
+                truths.extend(minilab.db.get(name).sensitivity[res].degradations)
+                recons.extend(db.get(name).sensitivity[res].degradations)
+        mae = float(np.mean(np.abs(np.array(truths) - np.array(recons))))
+        assert mae < 0.30  # far better than knowing nothing
+
+    def test_intensity_completed_non_negative(self, minilab, completed):
+        partial, db = completed
+        for name in partial:
+            for resolution in db.get(name).profiled_resolutions:
+                assert all(v >= 0.0 for v in db.get(name).intensity[resolution])
+
+    def test_no_partial_games_is_identity(self, minilab):
+        assert complete_profiles(minilab.db, {}) is minilab.db
+
+    def test_unknown_game_rejected(self, minilab):
+        with pytest.raises(KeyError):
+            complete_profiles(minilab.db, {"NoSuchGame": OBSERVED})
+
+    def test_empty_observation_rejected(self, minilab):
+        with pytest.raises(ValueError):
+            complete_profiles(minilab.db, {minilab.names[0]: ()})

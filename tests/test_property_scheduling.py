@@ -1,0 +1,105 @@
+"""Property-based tests for packing and assignment conservation laws."""
+
+import itertools
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.training import ColocationSpec
+from repro.games.resolution import Resolution
+from repro.scheduling import GameRequest, pack_requests
+from repro.scheduling.assignment import assign_max_fps
+
+R = Resolution(1920, 1080)
+GAMES = ["a", "b", "c", "d", "e"]
+
+request_counts = st.dictionaries(
+    st.sampled_from(GAMES), st.integers(0, 12), min_size=1, max_size=5
+)
+feasible_sets = st.lists(
+    st.lists(st.sampled_from(GAMES), min_size=2, max_size=4, unique=True),
+    max_size=8,
+)
+
+
+class _FlatPredictor:
+    """Toy predictor: FPS = 100 / colocation size for every member."""
+
+    def predict_fps(self, spec):
+        return np.full(spec.size, 100.0 / spec.size)
+
+
+class TestPackingProperties:
+    @given(request_counts, feasible_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_every_request_served_exactly_once(self, counts, feasible_names):
+        requests = [
+            GameRequest(name, R) for name, k in counts.items() for _ in range(k)
+        ]
+        if not requests:
+            return
+        feasible = [
+            ColocationSpec(tuple((n, R) for n in names))
+            for names in feasible_names
+        ]
+        result = pack_requests(requests, feasible)
+        served = Counter(
+            (name, res) for spec in result.servers for name, res in spec.entries
+        )
+        wanted = Counter((r.game, r.resolution) for r in requests)
+        assert served == wanted
+
+    @given(request_counts, feasible_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_never_worse_than_dedicated(self, counts, feasible_names):
+        requests = [
+            GameRequest(name, R) for name, k in counts.items() for _ in range(k)
+        ]
+        if not requests:
+            return
+        feasible = [
+            ColocationSpec(tuple((n, R) for n in names))
+            for names in feasible_names
+        ]
+        result = pack_requests(requests, feasible)
+        assert result.n_servers <= len(requests)
+
+    @given(request_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_no_feasible_colocations_is_dedicated(self, counts):
+        requests = [
+            GameRequest(name, R) for name, k in counts.items() for _ in range(k)
+        ]
+        if not requests:
+            return
+        result = pack_requests(requests, [])
+        assert result.n_servers == len(requests)
+
+
+class TestAssignmentProperties:
+    @given(
+        st.lists(st.sampled_from(GAMES), min_size=1, max_size=16),
+        st.integers(5, 12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_requests_placed_within_capacity(self, games, n_servers):
+        requests = [GameRequest(g, R) for g in games]
+        if len(requests) > n_servers * 4:
+            return
+        result = assign_max_fps(requests, _FlatPredictor(), n_servers)
+        assert result.n_requests == len(requests)
+        assert all(len(sig) <= 4 for sig in result.servers)
+        placed = Counter(entry for sig in result.servers for entry in sig)
+        wanted = Counter((r.game, r.resolution) for r in requests)
+        assert placed == wanted
+
+    @given(st.lists(st.sampled_from(GAMES), min_size=2, max_size=10))
+    @settings(max_examples=20, deadline=None)
+    def test_flat_predictor_spreads(self, games):
+        # With FPS = 100/size, spreading maximizes the total: every request
+        # should land on its own server when capacity allows.
+        requests = [GameRequest(g, R) for g in games]
+        result = assign_max_fps(requests, _FlatPredictor(), n_servers=len(games))
+        assert all(len(sig) == 1 for sig in result.occupied())

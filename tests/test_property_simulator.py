@@ -1,0 +1,63 @@
+"""Property-based tests over the simulator on random colocations."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.games import build_catalog
+from repro.simulator import ColocationEngine, GameInstance, run_colocation
+
+CATALOG = build_catalog()
+NAMES = CATALOG.names()
+
+name_sets = st.lists(
+    st.sampled_from(NAMES), min_size=1, max_size=4, unique=True
+)
+
+
+@st.composite
+def colocations(draw):
+    names = draw(name_sets)
+    return [GameInstance(CATALOG.get(n)) for n in names]
+
+
+class TestSteadyStateProperties:
+    @given(colocations())
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_fixed_point_invariants(self, workloads):
+        state = ColocationEngine().steady_state(workloads)
+        assert state.converged
+        assert np.all(state.rate_factors > 0.0)
+        assert np.all(state.rate_factors <= 1.0 + 1e-9)
+        assert np.all(state.pressures >= 0.0)
+        assert np.all(state.pressures <= 1.0 + 1e-9)
+        assert np.all(state.stage_inflations >= 1.0 - 1e-12)
+
+    @given(colocations())
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_order_invariance(self, workloads):
+        """Contention physics cannot depend on workload list order."""
+        state_fwd = ColocationEngine().steady_state(list(workloads))
+        state_rev = ColocationEngine().steady_state(list(reversed(workloads)))
+        assert np.allclose(
+            np.sort(state_fwd.rate_factors), np.sort(state_rev.rate_factors),
+            atol=1e-6,
+        )
+
+    @given(colocations())
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_measurement_deterministic(self, workloads):
+        a = run_colocation(list(workloads))
+        b = run_colocation(list(workloads))
+        assert a.fps == b.fps
+
+    @given(st.sampled_from(NAMES), name_sets)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_corunners_never_speed_a_game_up(self, target, others):
+        target_instance = GameInstance(CATALOG.get(target))
+        co = [GameInstance(CATALOG.get(n)) for n in others if n != target]
+        solo = run_colocation([target_instance])
+        coloc = run_colocation([target_instance] + co)
+        # 6% slack: measurement noise of two independent runs.
+        assert coloc.fps[0] <= solo.fps[0] * 1.06

@@ -1,0 +1,93 @@
+"""Tests for online assignment policies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import VBPJudge
+from repro.games.resolution import Resolution
+from repro.scheduling import (
+    GameRequest,
+    assign_max_fps,
+    assign_worst_fit,
+    evaluate_assignment,
+    generate_requests,
+)
+
+R = Resolution(1920, 1080)
+
+
+class _SoloLovingPredictor:
+    """Toy predictor: every added co-runner halves everyone's FPS."""
+
+    def predict_fps(self, spec):
+        base = 100.0 / (2 ** (spec.size - 1))
+        return np.full(spec.size, base)
+
+
+class TestAssignMaxFps:
+    def test_spreads_when_servers_plentiful(self, minilab):
+        requests = [GameRequest(minilab.names[0], R) for _ in range(5)]
+        result = assign_max_fps(requests, _SoloLovingPredictor(), n_servers=10)
+        assert result.n_requests == 5
+        occupied = result.occupied()
+        assert len(occupied) == 5
+        assert all(len(s) == 1 for s in occupied)
+
+    def test_respects_max_colocation(self, minilab):
+        requests = [GameRequest(minilab.names[0], R) for _ in range(8)]
+        result = assign_max_fps(
+            requests, _SoloLovingPredictor(), n_servers=2, max_colocation=4
+        )
+        assert all(len(s) == 4 for s in result.occupied())
+
+    def test_overflow_rejected(self):
+        requests = [GameRequest("a", R) for _ in range(9)]
+        with pytest.raises(ValueError):
+            assign_max_fps(requests, _SoloLovingPredictor(), n_servers=2)
+
+    def test_invalid_fleet(self):
+        with pytest.raises(ValueError):
+            assign_max_fps([], _SoloLovingPredictor(), n_servers=0)
+
+    def test_uses_real_predictor(self, minilab):
+        requests = generate_requests(minilab.names[:5], 12, seed=0)
+        result = assign_max_fps(requests, minilab.predictor, n_servers=6)
+        assert result.n_requests == 12
+        assert result.n_servers == 6
+
+
+class TestAssignWorstFit:
+    def test_all_requests_placed(self, minilab):
+        vbp = VBPJudge(minilab.db)
+        requests = generate_requests(minilab.names[:5], 20, seed=1)
+        result = assign_worst_fit(requests, vbp, n_servers=10)
+        assert result.n_requests == 20
+
+    def test_prefers_empty_servers(self, minilab):
+        vbp = VBPJudge(minilab.db)
+        requests = [GameRequest(minilab.names[0], R) for _ in range(4)]
+        result = assign_worst_fit(requests, vbp, n_servers=8)
+        assert all(len(s) == 1 for s in result.occupied())
+
+    def test_respects_capacity_then_overflows_gracefully(self, minilab):
+        vbp = VBPJudge(minilab.db)
+        requests = [GameRequest(minilab.names[0], R) for _ in range(8)]
+        result = assign_worst_fit(requests, vbp, n_servers=2, max_colocation=4)
+        assert result.n_requests == 8
+
+
+class TestEvaluateAssignment:
+    def test_fps_per_request(self, minilab):
+        requests = generate_requests(minilab.names[:4], 10, seed=2)
+        placement = assign_max_fps(requests, minilab.predictor, n_servers=5)
+        fps = evaluate_assignment(minilab.catalog, placement)
+        assert fps.shape == (10,)
+        assert np.all(fps > 0)
+
+    def test_lonelier_placement_faster(self, minilab):
+        requests = generate_requests(minilab.names[:4], 12, seed=3)
+        packed = assign_max_fps(requests, minilab.predictor, n_servers=3)
+        spread = assign_max_fps(requests, minilab.predictor, n_servers=12)
+        fps_packed = evaluate_assignment(minilab.catalog, packed).mean()
+        fps_spread = evaluate_assignment(minilab.catalog, spread).mean()
+        assert fps_spread > fps_packed

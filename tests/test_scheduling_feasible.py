@@ -1,0 +1,98 @@
+"""Tests for feasibility enumeration and judgement scoring."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.scheduling import (
+    FeasibilityReport,
+    actual_feasibility,
+    enumerate_colocations,
+    judge_feasibility,
+    score_judgements,
+)
+
+
+class TestEnumerateColocations:
+    def test_paper_count_for_ten_games(self):
+        names = [f"g{i}" for i in range(10)]
+        colocations = enumerate_colocations(names, max_size=4)
+        expected = sum(math.comb(10, k) for k in range(1, 5))
+        assert len(colocations) == expected == 385
+
+    def test_sizes_bounded(self):
+        colocations = enumerate_colocations(["a", "b", "c"], max_size=2)
+        assert {c.size for c in colocations} == {1, 2}
+
+    def test_entries_distinct(self):
+        colocations = enumerate_colocations(["a", "b", "c"], max_size=3)
+        for c in colocations:
+            assert len(set(c.names)) == c.size
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ValueError):
+            enumerate_colocations(["a"], max_size=0)
+
+
+class TestActualFeasibility:
+    def test_monotone_in_qos(self, minilab):
+        names = minilab.names[:5]
+        colocations = enumerate_colocations(names, max_size=3)
+        lax = actual_feasibility(minilab.catalog, colocations, qos=20.0)
+        strict = actual_feasibility(minilab.catalog, colocations, qos=90.0)
+        # Anything feasible at the strict floor is feasible at the lax one.
+        assert np.all(lax[strict])
+
+    def test_supersets_never_more_feasible(self, minilab):
+        names = minilab.names[:4]
+        colocations = enumerate_colocations(names, max_size=4)
+        feasible = actual_feasibility(minilab.catalog, colocations, qos=60.0)
+        by_names = {c.names: bool(f) for c, f in zip(colocations, feasible)}
+        quad = tuple(sorted(names))
+        if by_names.get(quad, False):
+            for drop in range(4):
+                sub = tuple(n for i, n in enumerate(quad) if i != drop)
+                assert by_names[sub]
+
+
+class TestJudgeFeasibility:
+    def test_accepts_callable_and_object(self, minilab):
+        colocations = enumerate_colocations(minilab.names[:3], max_size=2)
+        always = judge_feasibility(lambda spec, qos: True, colocations, 60.0)
+        assert np.all(always)
+
+        class Judge:
+            def colocation_feasible(self, spec, qos):
+                return spec.size == 1
+
+        singles = judge_feasibility(Judge(), colocations, 60.0)
+        assert np.array_equal(singles, np.array([c.size == 1 for c in colocations]))
+
+
+class TestScoreJudgements:
+    def test_confusion_counts(self):
+        actual = np.array([True, True, False, False])
+        judged = np.array([True, False, True, False])
+        report = score_judgements(actual, judged)
+        assert (report.tp, report.fn, report.fp, report.tn) == (1, 1, 1, 1)
+        assert report.accuracy == 0.5
+        assert report.precision == 0.5
+        assert report.recall == 0.5
+
+    def test_perfect_judgement(self):
+        actual = np.array([True, False, True])
+        report = score_judgements(actual, actual)
+        assert report.accuracy == 1.0
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+
+    def test_degenerate_scores(self):
+        report = FeasibilityReport(tp=0, fp=0, fn=0, tn=5)
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.accuracy == 1.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            score_judgements(np.array([True]), np.array([True, False]))

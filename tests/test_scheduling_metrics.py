@@ -1,0 +1,74 @@
+"""Tests for fleet-level metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.metrics import (
+    FleetSummary,
+    jain_fairness,
+    qos_satisfaction,
+    summarize_fleet,
+)
+
+
+class TestJainFairness:
+    def test_equal_allocations(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_one_winner(self):
+        assert jain_fairness([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_degenerate(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])
+        with pytest.raises(ValueError):
+            jain_fairness([-1.0, 2.0])
+
+    @given(st.lists(st.floats(0.1, 1000.0), min_size=1, max_size=40))
+    @settings(max_examples=40)
+    def test_bounds(self, values):
+        index = jain_fairness(values)
+        assert 1.0 / len(values) - 1e-12 <= index <= 1.0 + 1e-12
+
+    @given(st.lists(st.floats(0.1, 1000.0), min_size=1, max_size=20), st.floats(0.1, 10.0))
+    @settings(max_examples=30)
+    def test_scale_invariant(self, values, scale):
+        assert jain_fairness(values) == pytest.approx(
+            jain_fairness([v * scale for v in values])
+        )
+
+
+class TestQosSatisfaction:
+    def test_fraction(self):
+        assert qos_satisfaction([30, 60, 90, 120], 60.0) == 0.75
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            qos_satisfaction([], 60.0)
+
+
+class TestSummarizeFleet:
+    def test_summary_fields(self):
+        fps = np.array([30.0, 60.0, 90.0, 120.0])
+        summary = summarize_fleet(fps, qos=60.0)
+        assert summary.n_requests == 4
+        assert summary.mean_fps == pytest.approx(75.0)
+        assert summary.median_fps == pytest.approx(75.0)
+        assert summary.qos_satisfaction == 0.75
+        assert 0 < summary.fairness <= 1.0
+
+    def test_as_row_order(self):
+        summary = summarize_fleet([60.0, 60.0])
+        row = summary.as_row()
+        assert row[0] == 2
+        assert row[1] == pytest.approx(60.0)
+        assert len(row) == 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_fleet([])

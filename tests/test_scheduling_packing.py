@@ -1,0 +1,77 @@
+"""Tests for Algorithm 1 request packing."""
+
+import pytest
+
+from repro.core.training import ColocationSpec
+from repro.games.resolution import Resolution
+from repro.scheduling import GameRequest, pack_requests
+
+R = Resolution(1920, 1080)
+
+
+def _spec(*names):
+    return ColocationSpec(tuple((n, R) for n in names))
+
+
+def _requests(counts: dict[str, int]):
+    return [GameRequest(name, R) for name, k in counts.items() for _ in range(k)]
+
+
+class TestPackRequests:
+    def test_no_feasible_colocations_dedicated_servers(self):
+        requests = _requests({"a": 3, "b": 2})
+        result = pack_requests(requests, [])
+        assert result.n_servers == 5
+        assert all(s.size == 1 for s in result.servers)
+
+    def test_perfect_pairing_halves_servers(self):
+        requests = _requests({"a": 10, "b": 10})
+        result = pack_requests(requests, [_spec("a", "b")])
+        assert result.n_servers == 10
+        assert all(s.size == 2 for s in result.servers)
+
+    def test_prefers_larger_colocations(self):
+        requests = _requests({"a": 4, "b": 4, "c": 4})
+        feasible = [_spec("a", "b"), _spec("a", "b", "c")]
+        result = pack_requests(requests, feasible)
+        assert result.n_servers == 4
+        assert all(s.size == 3 for s in result.servers)
+
+    def test_leftovers_run_alone(self):
+        requests = _requests({"a": 3, "b": 1})
+        result = pack_requests(requests, [_spec("a", "b")])
+        # One a+b server, two dedicated a servers.
+        assert result.n_servers == 3
+        hist = result.size_histogram()
+        assert hist == {1: 2, 2: 1}
+
+    def test_all_requests_served_exactly_once(self):
+        requests = _requests({"a": 7, "b": 5, "c": 3})
+        feasible = [_spec("a", "b"), _spec("b", "c"), _spec("a", "b", "c")]
+        result = pack_requests(requests, feasible)
+        served: dict[str, int] = {}
+        for spec in result.servers:
+            for name, _ in spec.entries:
+                served[name] = served.get(name, 0) + 1
+        assert served == {"a": 7, "b": 5, "c": 3}
+
+    def test_deterministic_tie_breaking(self):
+        requests = _requests({"a": 2, "b": 2, "c": 2})
+        feasible = [_spec("b", "c"), _spec("a", "b")]
+        first = pack_requests(requests, feasible)
+        second = pack_requests(requests, feasible)
+        assert first.servers == second.servers
+
+    def test_beats_no_colocation_when_possible(self):
+        requests = _requests({"a": 50, "b": 50, "c": 50, "d": 50})
+        feasible = [_spec("a", "b", "c", "d")]
+        result = pack_requests(requests, feasible)
+        assert result.n_servers == 50  # vs 200 dedicated
+
+
+class TestPackingResult:
+    def test_size_histogram_sorted(self):
+        requests = _requests({"a": 2, "b": 1})
+        result = pack_requests(requests, [_spec("a", "b")])
+        hist = result.size_histogram()
+        assert list(hist.keys()) == sorted(hist.keys())

@@ -1,0 +1,45 @@
+"""Tests for request-stream generation."""
+
+import collections
+
+import pytest
+
+from repro.games.resolution import PRESET_RESOLUTIONS, REFERENCE_RESOLUTION
+from repro.scheduling import GameRequest, generate_requests
+
+
+class TestGenerateRequests:
+    def test_count_and_membership(self):
+        names = ["a", "b", "c"]
+        requests = generate_requests(names, 100, seed=0)
+        assert len(requests) == 100
+        assert {r.game for r in requests} <= set(names)
+
+    def test_default_single_resolution(self):
+        requests = generate_requests(["a"], 10, seed=0)
+        assert all(r.resolution == REFERENCE_RESOLUTION for r in requests)
+
+    def test_mixed_resolutions(self):
+        requests = generate_requests(
+            ["a"], 200, resolutions=PRESET_RESOLUTIONS, seed=0
+        )
+        used = {r.resolution for r in requests}
+        assert used == set(PRESET_RESOLUTIONS)
+
+    def test_roughly_uniform(self):
+        names = [f"g{i}" for i in range(10)]
+        requests = generate_requests(names, 5000, seed=1)
+        counts = collections.Counter(r.game for r in requests)
+        assert min(counts.values()) > 350
+        assert max(counts.values()) < 650
+
+    def test_deterministic(self):
+        a = generate_requests(["x", "y"], 20, seed=5)
+        b = generate_requests(["x", "y"], 20, seed=5)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_requests([], 10)
+        with pytest.raises(ValueError):
+            generate_requests(["a"], 0)

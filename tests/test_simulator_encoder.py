@@ -1,0 +1,73 @@
+"""Tests for the encoder model and processing delays."""
+
+import numpy as np
+import pytest
+
+from repro.games.resolution import Resolution
+from repro.hardware.resources import NUM_RESOURCES, Resource
+from repro.simulator import (
+    EncoderModel,
+    GameInstance,
+    processing_delays,
+    run_colocation,
+)
+
+R720 = Resolution(1280, 720)
+R1080 = Resolution(1920, 1080)
+
+
+class TestEncoderModel:
+    def test_solo_time_grows_with_pixels(self):
+        enc = EncoderModel()
+        assert enc.solo_encode_time_ms(R1080) > enc.solo_encode_time_ms(R720)
+
+    def test_pressure_inflates_encode_time(self):
+        enc = EncoderModel()
+        quiet = np.zeros(NUM_RESOURCES)
+        loud = np.zeros(NUM_RESOURCES)
+        loud[int(Resource.GPU_BW)] = 1.0
+        loud[int(Resource.PCIE_BW)] = 1.0
+        assert enc.encode_time_ms(R1080, loud) > enc.encode_time_ms(R1080, quiet)
+
+    def test_compute_pressure_ignored(self):
+        # Dedicated silicon: CPU/GPU core pressure does not slow encoding.
+        enc = EncoderModel()
+        loud = np.zeros(NUM_RESOURCES)
+        loud[int(Resource.CPU_CE)] = 1.0
+        loud[int(Resource.GPU_CE)] = 1.0
+        assert enc.encode_time_ms(R1080, loud) == pytest.approx(
+            enc.solo_encode_time_ms(R1080)
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EncoderModel(fixed_ms=-1.0)
+
+
+class TestProcessingDelays:
+    def test_delay_exceeds_frame_time(self, catalog):
+        game = GameInstance(catalog.get("Dota2"))
+        result = run_colocation([game])
+        delays = processing_delays(result)
+        assert delays[0] > 1000.0 / result.fps[0]
+
+    def test_colocation_increases_delay(self, catalog):
+        solo = run_colocation([GameInstance(catalog.get("Dota2"))])
+        pair = run_colocation(
+            [GameInstance(catalog.get("Dota2")), GameInstance(catalog.get("H1Z1"))]
+        )
+        assert processing_delays(pair)[0] > processing_delays(solo)[0]
+
+    def test_benchmark_slots_nan(self, catalog):
+        from repro.bench import make_benchmark
+        from repro.simulator import BenchmarkInstance
+
+        result = run_colocation(
+            [
+                GameInstance(catalog.get("Dota2")),
+                BenchmarkInstance(make_benchmark(Resource.GPU_CE, 0.5)),
+            ]
+        )
+        delays = processing_delays(result)
+        assert np.isnan(delays[1])
+        assert np.isfinite(delays[0])

@@ -1,0 +1,143 @@
+"""Tests for the steady-state contention engine."""
+
+import numpy as np
+import pytest
+
+from repro.bench import make_benchmark
+from repro.games import Resolution, build_catalog
+from repro.hardware.resources import Resource
+from repro.hardware.server import ServerSpec
+from repro.simulator import BenchmarkInstance, ColocationEngine, GameInstance
+
+
+@pytest.fixture(scope="module")
+def games(catalog):
+    return {
+        name: GameInstance(catalog.get(name))
+        for name in ("Dota2", "H1Z1", "ARK Survival Evolved", "Stardew Valley")
+    }
+
+
+class TestSteadyState:
+    def test_solo_game_unaffected(self, games):
+        engine = ColocationEngine()
+        state = engine.steady_state([games["H1Z1"]])
+        assert state.rate_factors[0] == pytest.approx(1.0, abs=1e-6)
+        assert np.allclose(state.pressures, 0.0)
+
+    def test_empty_colocation_rejected(self):
+        with pytest.raises(ValueError):
+            ColocationEngine().steady_state([])
+
+    def test_pair_converges(self, games):
+        state = ColocationEngine().steady_state([games["H1Z1"], games["Dota2"]])
+        assert state.converged
+        assert np.all(state.rate_factors <= 1.0 + 1e-9)
+        assert np.all(state.rate_factors > 0.0)
+
+    def test_quad_converges(self, games):
+        state = ColocationEngine().steady_state(list(games.values()))
+        assert state.converged
+
+    def test_more_corunners_more_degradation(self, games):
+        engine = ColocationEngine()
+        order = ["H1Z1", "Dota2", "ARK Survival Evolved", "Stardew Valley"]
+        rates = []
+        for k in range(2, 5):
+            workloads = [games[n] for n in order[:k]]
+            state = engine.steady_state(workloads)
+            rates.append(state.rate_factors[0])
+        assert rates[0] >= rates[1] >= rates[2]
+
+    def test_light_corunner_hurts_less(self, games):
+        engine = ColocationEngine()
+        heavy = engine.steady_state([games["H1Z1"], games["ARK Survival Evolved"]])
+        light = engine.steady_state([games["H1Z1"], games["Stardew Valley"]])
+        assert light.rate_factors[0] > heavy.rate_factors[0]
+
+    def test_benchmark_slowdown_reported(self, games):
+        bench = BenchmarkInstance(make_benchmark(Resource.GPU_CE, 0.5))
+        state = ColocationEngine().steady_state([games["H1Z1"], bench])
+        assert state.slowdowns[1] >= 1.0
+        assert np.isnan(state.slowdowns[0])
+        assert np.isnan(state.frame_times_ms[1])
+
+    def test_benchmark_rate_pinned(self, games):
+        bench = BenchmarkInstance(make_benchmark(Resource.GPU_CE, 0.9))
+        state = ColocationEngine().steady_state([games["H1Z1"], bench])
+        assert state.rate_factors[1] == 1.0
+
+    def test_zero_pressure_benchmark_harmless(self, games):
+        engine = ColocationEngine()
+        solo = engine.steady_state([games["H1Z1"]])
+        with_idle = engine.steady_state(
+            [games["H1Z1"], BenchmarkInstance(make_benchmark(Resource.GPU_CE, 0.0))]
+        )
+        assert with_idle.rate_factors[0] == pytest.approx(
+            solo.rate_factors[0], abs=1e-6
+        )
+
+
+class TestServerScaling:
+    def test_faster_server_less_degradation(self, games):
+        pair = [games["H1Z1"], games["ARK Survival Evolved"]]
+        ref = ColocationEngine().steady_state(pair)
+        big_spec = ServerSpec(
+            name="big", cpu_scale=2.0, gpu_scale=2.0, link_scale=2.0,
+            cpu_mem_gb=32.0, gpu_mem_gb=16.0,
+        )
+        big = ColocationEngine(big_spec).steady_state(pair)
+        assert big.rate_factors[0] > ref.rate_factors[0]
+
+    def test_faster_server_shorter_frames(self, games):
+        solo = [games["H1Z1"]]
+        ref = ColocationEngine().steady_state(solo)
+        big_spec = ServerSpec(name="big", cpu_scale=2.0, gpu_scale=2.0, link_scale=2.0)
+        big = ColocationEngine(big_spec).steady_state(solo)
+        assert big.frame_times_ms[0] < ref.frame_times_ms[0]
+
+
+class TestMemoryThrash:
+    def test_oversubscription_penalizes(self, catalog):
+        heavy = [
+            GameInstance(catalog.get(n), Resolution(1920, 1080))
+            for n in ("ARK Survival Evolved", "The Witcher 3: Wild Hunt")
+        ]
+        tiny_mem = ServerSpec(name="tiny", cpu_mem_gb=1.0, gpu_mem_gb=0.5)
+        engine = ColocationEngine(tiny_mem)
+        factor = engine._memory_thrash_factor(heavy)
+        assert factor > 2.0
+        plenty = ColocationEngine(ServerSpec(name="ok", cpu_mem_gb=64, gpu_mem_gb=64))
+        assert plenty._memory_thrash_factor(heavy) == 1.0
+
+    def test_thrash_reduces_rate(self, catalog):
+        heavy = [
+            GameInstance(catalog.get(n))
+            for n in ("ARK Survival Evolved", "The Witcher 3: Wild Hunt")
+        ]
+        normal = ColocationEngine().steady_state(heavy)
+        tiny = ColocationEngine(
+            ServerSpec(name="tiny", cpu_mem_gb=1.0, gpu_mem_gb=0.5)
+        ).steady_state(heavy)
+        assert tiny.rate_factors[0] < normal.rate_factors[0]
+
+
+class TestEngineValidation:
+    def test_bad_damping(self):
+        with pytest.raises(ValueError):
+            ColocationEngine(damping=0.0)
+
+    def test_bad_iterations(self):
+        with pytest.raises(ValueError):
+            ColocationEngine(max_iterations=0)
+
+    def test_bad_rate_feedback(self):
+        with pytest.raises(ValueError):
+            ColocationEngine(rate_feedback=1.5)
+
+    def test_full_rate_feedback_weaker_pressure(self, games):
+        pair = [games["H1Z1"], games["ARK Survival Evolved"]]
+        none = ColocationEngine(rate_feedback=0.0).steady_state(pair)
+        full = ColocationEngine(rate_feedback=1.0).steady_state(pair)
+        # With full feedback the degraded partner exerts less pressure.
+        assert full.rate_factors.min() > none.rate_factors.min()

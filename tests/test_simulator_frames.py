@@ -1,0 +1,117 @@
+"""Tests for the frame-time simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games import Resolution, build_catalog
+from repro.simulator.frames import (
+    fps_from_frame_times,
+    scene_complexity,
+    simulate_frame_times,
+)
+
+
+@pytest.fixture(scope="module")
+def spec(catalog):
+    return catalog.get("H1Z1")
+
+
+R1080 = Resolution(1920, 1080)
+
+
+class TestSceneComplexity:
+    def test_mean_near_one(self):
+        rng = np.random.default_rng(0)
+        c = scene_complexity(0.95, 0.1, 50_000, rng)
+        assert c.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_positive(self):
+        rng = np.random.default_rng(1)
+        assert np.all(scene_complexity(0.9, 0.3, 1000, rng) > 0)
+
+    def test_zero_sigma_constant(self):
+        rng = np.random.default_rng(2)
+        assert np.array_equal(scene_complexity(0.9, 0.0, 10, rng), np.ones(10))
+
+    def test_autocorrelated(self):
+        rng = np.random.default_rng(3)
+        c = np.log(scene_complexity(0.95, 0.1, 20_000, rng))
+        r1 = np.corrcoef(c[:-1], c[1:])[0, 1]
+        assert r1 > 0.85
+
+    @pytest.mark.parametrize("rho,sigma,n", [(1.0, 0.1, 10), (0.9, -0.1, 10), (0.9, 0.1, 0)])
+    def test_invalid_params(self, rho, sigma, n):
+        with pytest.raises(ValueError):
+            scene_complexity(rho, sigma, n, np.random.default_rng(0))
+
+    def test_deterministic_given_rng(self):
+        a = scene_complexity(0.9, 0.1, 100, np.random.default_rng(5))
+        b = scene_complexity(0.9, 0.1, 100, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestSimulateFrameTimes:
+    def test_shape_and_positivity(self, spec):
+        times = simulate_frame_times(
+            spec, R1080, n_frames=100, rng=np.random.default_rng(0)
+        )
+        assert times.shape == (100,)
+        assert np.all(times > 0)
+
+    def test_mean_near_nominal(self, spec):
+        times = simulate_frame_times(
+            spec, R1080, n_frames=20_000, rng=np.random.default_rng(0)
+        )
+        nominal = spec.solo_frame_time_ms(R1080)
+        assert times.mean() == pytest.approx(nominal, rel=0.15)
+
+    def test_inflations_slow_frames(self, spec):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        base = simulate_frame_times(spec, R1080, n_frames=500, rng=rng_a)
+        inflated = simulate_frame_times(
+            spec, R1080, stage_inflations=(2.0, 2.0, 2.0), n_frames=500, rng=rng_b
+        )
+        assert np.all(inflated >= base)
+
+    def test_thrash_multiplies(self, spec):
+        a = simulate_frame_times(
+            spec, R1080, n_frames=100, rng=np.random.default_rng(1)
+        )
+        b = simulate_frame_times(
+            spec, R1080, thrash=3.0, n_frames=100, rng=np.random.default_rng(1)
+        )
+        assert np.allclose(b, 3.0 * a)
+
+    def test_server_scales_speed_up(self, spec):
+        slow = simulate_frame_times(
+            spec, R1080, n_frames=100, rng=np.random.default_rng(2)
+        )
+        fast = simulate_frame_times(
+            spec,
+            R1080,
+            n_frames=100,
+            rng=np.random.default_rng(2),
+            server_scales=(2.0, 2.0, 2.0),
+        )
+        assert np.all(fast <= slow)
+
+
+class TestFpsFromFrameTimes:
+    def test_constant_frames(self):
+        assert fps_from_frame_times(np.full(100, 10.0)) == pytest.approx(100.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fps_from_frame_times(np.array([]))
+
+    @given(st.lists(st.floats(1.0, 100.0), min_size=1, max_size=50))
+    @settings(max_examples=30)
+    def test_harmonic_mean_property(self, times):
+        # FPS equals 1000 / (arithmetic mean frame time).
+        times = np.asarray(times)
+        assert fps_from_frame_times(times) == pytest.approx(
+            1000.0 / times.mean()
+        )

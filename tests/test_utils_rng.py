@@ -1,0 +1,49 @@
+"""Tests for deterministic RNG stream derivation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import derive_seed, spawn_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_different_labels_differ(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_different_parents_differ(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(42, "a", "b") != derive_seed(42, "b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab",) must not collide with ("a", "b").
+        assert derive_seed(0, "ab") != derive_seed(0, "a", "b")
+
+    def test_accepts_non_string_labels(self):
+        assert derive_seed(0, 1, (2, 3)) == derive_seed(0, 1, (2, 3))
+
+    @given(st.integers(min_value=0, max_value=2**62), st.text(max_size=30))
+    def test_result_in_63_bit_range(self, seed, label):
+        value = derive_seed(seed, label)
+        assert 0 <= value < 2**63
+
+
+class TestSpawnRng:
+    def test_same_stream_same_values(self):
+        a = spawn_rng(7, "x").random(5)
+        b = spawn_rng(7, "x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_streams_diverge(self):
+        a = spawn_rng(7, "x").random(5)
+        b = spawn_rng(7, "y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_returns_generator(self):
+        assert isinstance(spawn_rng(0), np.random.Generator)

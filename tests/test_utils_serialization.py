@@ -1,0 +1,43 @@
+"""Tests for JSON serialization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import dump_json, load_json, to_jsonable
+
+
+class TestToJsonable:
+    def test_numpy_array(self):
+        assert to_jsonable(np.array([1.5, 2.5])) == [1.5, 2.5]
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.int32(3)) == 3
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_nested_structures(self):
+        data = {"a": [np.int64(1), (2.0, np.array([3]))], "b": None}
+        assert to_jsonable(data) == {"a": [1, [2.0, [3]]], "b": None}
+
+    def test_object_with_to_dict(self):
+        class Thing:
+            def to_dict(self):
+                return {"x": np.float32(1.0)}
+
+        assert to_jsonable(Thing()) == {"x": 1.0}
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeError, match="object"):
+            to_jsonable(object())
+
+
+class TestDumpLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "data.json"
+        dump_json({"values": np.arange(3)}, path)
+        assert load_json(path) == {"values": [0, 1, 2]}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "a" / "b" / "c.json"
+        dump_json([1], path)
+        assert path.exists()

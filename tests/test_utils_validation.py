@@ -1,0 +1,64 @@
+"""Tests for the validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(value, "x")
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_fraction(value, "f") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan")])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError, match="f"):
+            check_fraction(value, "f")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1.0, 1.0, 2.0, "v") == 1.0
+        assert check_in_range(2.0, 1.0, 2.0, "v") == 2.0
+
+    def test_exclusive_bounds_reject_endpoints(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, 1.0, 2.0, "v", inclusive=False)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(2.5, 1.0, 2.0, "v")
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid(self):
+        out = check_probability_vector([0.25, 0.75], "p")
+        assert np.allclose(out, [0.25, 0.75])
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum"):
+            check_probability_vector([0.3, 0.3], "p")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([-0.5, 1.5], "p")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([], "p")
