@@ -12,6 +12,8 @@ Most users want:
 * :mod:`repro.core` — training-sample generation, the CM/RM models, and
   the online :class:`~repro.core.InterferencePredictor`;
 * :mod:`repro.scheduling` — the Section 5 request schedulers;
+* :mod:`repro.serving` — the online dispatcher (broker, admission
+  controller, prediction cache, telemetry) behind ``python -m repro serve``;
 * :mod:`repro.experiments` — one module per paper figure.
 """
 

@@ -1,21 +1,26 @@
 """Command-line interface.
 
-Wraps the library's offline/online workflow in four subcommands::
+Wraps the library's offline/online workflow in six subcommands::
 
     python -m repro catalog  [--genre moba-esports]
     python -m repro profile  --games "Dota2,H1Z1" --out db.json
     python -m repro train    --db db.json --pairs 80 --out predictor.json
     python -m repro predict  --predictor predictor.json \\
                              --colocation "Dota2@1920x1080,H1Z1@1280x720" --qos 60
+    python -m repro serve    --predictor predictor.json --requests 500 \\
+                             --policy cm-feasible
     python -m repro experiments [--extensions] [--out results.md]
 
 Colocations are written ``Game@WxH`` entries joined with commas; the
-resolution suffix is optional and defaults to 1080p.
+resolution suffix is optional and defaults to 1080p.  ``serve`` replays a
+synthetic arrival trace through the online serving broker and emits the
+telemetry snapshot (JSON) — see :mod:`repro.serving`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core import (
@@ -131,6 +136,53 @@ def _cmd_predict(args) -> int:
     return 0 if feasible else 2
 
 
+def _cmd_serve(args) -> int:
+    from repro.serving import (
+        AdmissionController,
+        PredictionCache,
+        RequestBroker,
+        TraceConfig,
+        build_policy,
+        generate_trace,
+    )
+
+    predictor = InterferencePredictor.load(args.predictor)
+    trace_config = TraceConfig(
+        n_requests=args.requests,
+        arrival_rate=args.arrival_rate,
+        mean_duration=args.mean_duration,
+        mixed_resolutions=args.mixed_resolutions,
+        seed=args.trace_seed,
+    )
+    sessions = generate_trace(predictor.db.names(), trace_config)
+    cache = PredictionCache(args.cache_size)
+    policy, fallback = build_policy(
+        args.policy,
+        predictor=predictor,
+        qos=args.qos,
+        cache=cache,
+        max_colocation=args.max_colocation,
+    )
+    controller = AdmissionController(policy, fallback=fallback)
+    report = RequestBroker(controller).run(sessions)
+    payload = report.to_dict()
+    payload["config"] = {
+        "policy": args.policy,
+        "qos": args.qos,
+        "cache_size": args.cache_size,
+        "max_colocation": args.max_colocation,
+        "trace": trace_config.to_dict(),
+    }
+    text = json.dumps(payload, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_experiments(args) -> int:
     from repro.experiments.runner import main as runner_main
 
@@ -173,6 +225,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--colocation", required=True, help='e.g. "Dota2@1920x1080,H1Z1"')
     p.add_argument("--qos", type=float, default=60.0, help="QoS floor (FPS)")
     p.set_defaults(fn=_cmd_predict)
+
+    p = sub.add_parser("serve", help="replay a trace through the serving broker")
+    p.add_argument("--predictor", required=True, help="predictor bundle path")
+    p.add_argument("--requests", type=int, default=500, help="trace length")
+    p.add_argument(
+        "--arrival-rate", type=float, default=2.0, help="arrivals per minute"
+    )
+    p.add_argument(
+        "--mean-duration", type=float, default=30.0, help="mean session minutes"
+    )
+    p.add_argument(
+        "--mixed-resolutions",
+        action="store_true",
+        help="draw resolutions from the preset list instead of fixed 1080p",
+    )
+    p.add_argument(
+        "--policy",
+        choices=["cm-feasible", "max-fps", "worst-fit", "dedicated"],
+        default="cm-feasible",
+        help="admission policy",
+    )
+    p.add_argument("--qos", type=float, default=60.0, help="QoS floor (FPS)")
+    p.add_argument(
+        "--cache-size", type=int, default=4096, help="prediction cache entries"
+    )
+    p.add_argument(
+        "--max-colocation", type=int, default=4, help="games per server cap"
+    )
+    p.add_argument("--trace-seed", type=int, default=0, help="trace RNG seed")
+    p.add_argument("--out", help="write the JSON report here instead of stdout")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("experiments", help="run the evaluation harness")
     p.add_argument("--extensions", action="store_true", help="include extensions")

@@ -22,7 +22,7 @@ from repro.core.features import (
     rm_feature_names,
     rm_feature_vector,
 )
-from repro.core.predictor import InterferencePredictor
+from repro.core.predictor import InterferencePredictor, MissingProfileError
 from repro.core.profiles import GameProfile, SensitivityCurve
 from repro.core.regression import GAugurRegressor
 from repro.core.training import (
@@ -49,6 +49,7 @@ __all__ = [
     "measure_delay_colocations",
     "solo_delay_ms",
     "InterferencePredictor",
+    "MissingProfileError",
     "ColocationSpec",
     "MeasuredColocation",
     "TrainingDataset",

@@ -4,9 +4,18 @@ Bundles the profile database with trained CM/RM models behind a
 colocation-level API: given any :class:`ColocationSpec`, returns per-game
 QoS verdicts, degradation ratios or frame rates instantaneously — the
 operation a cloud-gaming request dispatcher performs at every arrival.
+
+Beyond the single-colocation calls, the ``*_batch`` methods evaluate many
+candidate colocations in one model invocation: feature rows for every
+entry of every candidate are assembled into one matrix and pushed through
+the CM/RM exactly once, which is what makes scanning a whole server pool
+per request-arrival cheap (the serving hot path of
+:mod:`repro.serving`).
 """
 
 from __future__ import annotations
+
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -19,7 +28,25 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # avoid the core <-> profiling import cycle
     from repro.profiling.database import ProfileDatabase
 
-__all__ = ["InterferencePredictor"]
+__all__ = ["InterferencePredictor", "MissingProfileError"]
+
+
+class MissingProfileError(KeyError):
+    """A colocation references game(s) absent from the profile database.
+
+    Raised up front, before any feature assembly, so callers (and the
+    serving layer's fallback path) see one clear error naming every
+    missing game instead of a bare ``KeyError`` from deep inside
+    :meth:`repro.profiling.database.ProfileDatabase.get`.
+    """
+
+    def __init__(self, missing: Sequence[str]):
+        self.missing = tuple(missing)
+        super().__init__(self.missing)
+
+    def __str__(self) -> str:
+        names = ", ".join(repr(n) for n in self.missing)
+        return f"no profile for game(s) {names}"
 
 
 class InterferencePredictor:
@@ -39,7 +66,16 @@ class InterferencePredictor:
 
     # ------------------------------------------------------------------
 
+    def validate_spec(self, spec: ColocationSpec) -> None:
+        """Raise :class:`MissingProfileError` if any game lacks a profile."""
+        missing = tuple(
+            dict.fromkeys(name for name, _ in spec.entries if name not in self.db)
+        )
+        if missing:
+            raise MissingProfileError(missing)
+
     def _inputs(self, spec: ColocationSpec):
+        self.validate_spec(spec)
         profiles = [self.db.get(name) for name, _ in spec.entries]
         intensities = [
             profiles[i].intensity_at(res).values
@@ -90,6 +126,104 @@ class InterferencePredictor:
     def colocation_feasible(self, spec: ColocationSpec, qos: float) -> bool:
         """True iff every game in the colocation is predicted to meet QoS."""
         return bool(np.all(self.predict_feasible(spec, qos)))
+
+    # ------------------------------------------------------------------
+    # Batched prediction: evaluate many candidate colocations with one
+    # model invocation per attached model.  Outputs are bitwise identical
+    # to the equivalent sequence of single-spec calls (standardization and
+    # tree evaluation are row-independent); only the number of model
+    # invocations changes.
+
+    def predict_degradations_batch(
+        self, specs: Sequence[ColocationSpec]
+    ) -> list[np.ndarray]:
+        """RM degradation ratios for each spec, one model invocation total."""
+        if self.regressor is None:
+            raise RuntimeError("no regression model attached")
+        out: list[np.ndarray] = [np.ones(spec.size, dtype=float) for spec in specs]
+        rows, slots = [], []
+        for si, spec in enumerate(specs):
+            if spec.size < 2:
+                continue
+            profiles, intensities, _ = self._inputs(spec)
+            for i in range(spec.size):
+                co = [intensities[j] for j in range(spec.size) if j != i]
+                rows.append(rm_feature_vector(profiles[i].sensitivity_vector(), co))
+                slots.append((si, i))
+        if rows:
+            predictions = self.regressor.predict_from_features(np.vstack(rows))
+            for (si, i), value in zip(slots, predictions):
+                out[si][i] = value
+        return out
+
+    def predict_fps_batch(self, specs: Sequence[ColocationSpec]) -> list[np.ndarray]:
+        """Predicted colocated FPS per entry for each spec (batched RM)."""
+        degradations = self.predict_degradations_batch(specs)
+        return [
+            deg * np.asarray(self._inputs(spec)[2])
+            for spec, deg in zip(specs, degradations)
+        ]
+
+    def predict_feasible_batch(
+        self, specs: Sequence[ColocationSpec], qos: float
+    ) -> list[np.ndarray]:
+        """CM verdict per entry for each spec, one model invocation total."""
+        if self.classifier is None:
+            raise RuntimeError("no classification model attached")
+        out: list[np.ndarray] = []
+        rows, slots = [], []
+        for si, spec in enumerate(specs):
+            profiles, intensities, solo = self._inputs(spec)
+            if spec.size < 2:
+                out.append(np.asarray([fps >= qos for fps in solo], dtype=bool))
+                continue
+            out.append(np.zeros(spec.size, dtype=bool))
+            for i in range(spec.size):
+                co = [intensities[j] for j in range(spec.size) if j != i]
+                rows.append(
+                    cm_feature_vector(
+                        qos, solo[i], profiles[i].sensitivity_vector(), co
+                    )
+                )
+                slots.append((si, i))
+        if rows:
+            verdicts = self.classifier.predict_from_features(np.vstack(rows))
+            for (si, i), verdict in zip(slots, verdicts):
+                out[si][i] = bool(verdict)
+        return out
+
+    def colocations_feasible(
+        self, specs: Sequence[ColocationSpec], qos: float
+    ) -> np.ndarray:
+        """Whole-colocation CM verdict for each spec (batched)."""
+        return np.asarray(
+            [bool(np.all(v)) for v in self.predict_feasible_batch(specs, qos)],
+            dtype=bool,
+        )
+
+    def predict_batch(
+        self, specs: Sequence[ColocationSpec], qos: float | None = None
+    ) -> list[dict]:
+        """Evaluate every attached model over ``specs`` in batched form.
+
+        Returns one dict per spec with keys ``"fps"`` / ``"degradations"``
+        (present when a regressor is attached) and ``"feasible"`` (present
+        when a classifier is attached and ``qos`` is given).  Values equal
+        the corresponding single-spec calls exactly, but the whole batch
+        costs one model invocation per attached model.
+        """
+        results: list[dict] = [{} for _ in specs]
+        if self.regressor is not None:
+            degradations = self.predict_degradations_batch(specs)
+            for spec, result, deg in zip(specs, results, degradations):
+                result["degradations"] = deg
+                result["fps"] = deg * np.asarray(self._inputs(spec)[2])
+        if self.classifier is not None and qos is not None:
+            for result, verdicts in zip(
+                results, self.predict_feasible_batch(specs, qos)
+            ):
+                result["feasible"] = verdicts
+        return results
 
     # ------------------------------------------------------------------
     # RM-as-classifier (the paper's GAugur(RM) classification variant)

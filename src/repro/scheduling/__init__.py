@@ -31,6 +31,7 @@ from repro.scheduling.dynamic import (
     cm_feasible_policy,
     dedicated_policy,
     generate_sessions,
+    recording_policy,
     simulate_sessions,
     vbp_policy,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "cm_feasible_policy",
     "vbp_policy",
     "dedicated_policy",
+    "recording_policy",
     "FleetSummary",
     "jain_fairness",
     "qos_satisfaction",

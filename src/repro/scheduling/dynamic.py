@@ -35,6 +35,7 @@ __all__ = [
     "cm_feasible_policy",
     "vbp_policy",
     "dedicated_policy",
+    "recording_policy",
 ]
 
 
@@ -151,6 +152,25 @@ def dedicated_policy() -> Policy:
         return None
 
     return place
+
+
+def recording_policy(policy: Policy) -> tuple[Policy, list[int | None]]:
+    """Wrap ``policy``, logging every decision it makes.
+
+    Returns ``(wrapped, record)``: the wrapped policy behaves identically
+    while appending each returned server index (or ``None``) to
+    ``record``.  Used to compare placement trajectories between this
+    offline simulator and the online serving broker
+    (:mod:`repro.serving`), which share decision semantics.
+    """
+    record: list[int | None] = []
+
+    def place(servers: list[Signature], session: Session) -> int | None:
+        choice = policy(servers, session)
+        record.append(choice)
+        return choice
+
+    return place, record
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,56 @@
+"""Online serving subsystem: the dispatcher in front of GAugur's models.
+
+The paper's predictions are cheap enough to run at request-arrival time
+(Section 5); this package supplies the component that actually does so in
+a fleet — a discrete-event :class:`RequestBroker` consuming a session
+trace, an :class:`AdmissionController` that evaluates candidate servers
+through pluggable policies with graceful fallback, a canonical-key LRU
+:class:`PredictionCache` over the predictor's batched API, and
+:class:`Telemetry` (counters + latency histograms) exposed as one JSON
+snapshot.  ``python -m repro serve`` wires it all together.
+"""
+
+from repro.serving.admission import AdmissionController, AdmissionDecision
+from repro.serving.broker import PlacementRecord, RequestBroker, ServingReport
+from repro.serving.cache import PredictionCache, colocation_key
+from repro.serving.loadgen import TraceConfig, generate_trace
+from repro.serving.policies import (
+    POLICY_NAMES,
+    AdmissionPolicy,
+    CMFeasiblePolicy,
+    DedicatedPolicy,
+    MaxFPSPolicy,
+    OfflinePolicyAdapter,
+    WorstFitPolicy,
+    build_policy,
+)
+from repro.serving.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    LatencyHistogram,
+    Telemetry,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "RequestBroker",
+    "ServingReport",
+    "PlacementRecord",
+    "PredictionCache",
+    "colocation_key",
+    "TraceConfig",
+    "generate_trace",
+    "AdmissionPolicy",
+    "CMFeasiblePolicy",
+    "MaxFPSPolicy",
+    "WorstFitPolicy",
+    "DedicatedPolicy",
+    "OfflinePolicyAdapter",
+    "build_policy",
+    "POLICY_NAMES",
+    "Counter",
+    "LatencyHistogram",
+    "Telemetry",
+    "DEFAULT_LATENCY_BUCKETS",
+]

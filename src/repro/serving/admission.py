@@ -1,0 +1,88 @@
+"""The admission controller: policy evaluation with graceful degradation.
+
+A production dispatcher must never crash on one bad request.  The
+controller wraps the configured policy so that *any* exception during
+placement evaluation — a game missing from the profile database
+(:class:`repro.core.MissingProfileError`), an unfitted model raising
+``RuntimeError``, a numerical failure — is counted and absorbed: the
+decision falls back to the conservative policy (VBP worst-fit by
+default), and if that also fails, to opening a dedicated server.  Every
+decision is timed into a fixed-bucket latency histogram.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.serving.cache import PredictionCache
+from repro.serving.policies import AdmissionPolicy, Signature
+from repro.serving.telemetry import Telemetry
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission evaluation.
+
+    ``server`` is the index into the candidate-signature list (``None``
+    opens a new server), ``policy`` names the policy whose answer was
+    used, and ``fallback`` flags that the primary policy failed.
+    """
+
+    server: int | None
+    policy: str
+    fallback: bool
+
+
+class AdmissionController:
+    """Evaluates placements through a primary policy with counted fallback."""
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy,
+        *,
+        fallback: AdmissionPolicy | None = None,
+        telemetry: Telemetry | None = None,
+    ):
+        self.policy = policy
+        self.fallback = fallback
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+    def decide(self, signatures: list[Signature], session) -> AdmissionDecision:
+        """Place ``session`` against the open-server ``signatures``.
+
+        Never raises: policy failures are absorbed into the fallback chain
+        (primary -> fallback -> dedicated) and surfaced as the
+        ``policy_errors`` / ``fallbacks`` / ``fallback_errors`` counters.
+        """
+        t = self.telemetry
+        t.counter("requests").inc()
+        start = time.perf_counter()
+        policy_used, used_fallback = self.policy.name, False
+        try:
+            choice = self.policy.select(signatures, session)
+        except Exception:
+            t.counter("policy_errors").inc()
+            t.counter("fallbacks").inc()
+            used_fallback = True
+            choice, policy_used = None, "dedicated"
+            if self.fallback is not None:
+                try:
+                    choice = self.fallback.select(signatures, session)
+                    policy_used = self.fallback.name
+                except Exception:
+                    t.counter("fallback_errors").inc()
+        t.histogram("decision_latency_s").observe(time.perf_counter() - start)
+        t.counter("admissions" if choice is not None else "servers_opened").inc()
+        return AdmissionDecision(server=choice, policy=policy_used, fallback=used_fallback)
+
+    def caches(self) -> dict[str, PredictionCache]:
+        """Prediction caches attached to the policies, keyed by policy name."""
+        out: dict[str, PredictionCache] = {}
+        for policy in (self.policy, self.fallback):
+            cache = getattr(policy, "cache", None)
+            if isinstance(cache, PredictionCache):
+                out[policy.name] = cache
+        return out

@@ -1,0 +1,168 @@
+"""The request broker: a discrete-event online serving loop.
+
+Replays a session trace (arrivals and departures) against a growing and
+shrinking server pool, asking the :class:`AdmissionController` for a
+placement at every arrival — the role a cloud-gaming fleet's dispatcher
+plays, with GAugur's predictions on the hot path (paper Section 5,
+Algorithm 1's online setting).
+
+The pool bookkeeping deliberately mirrors
+:func:`repro.scheduling.dynamic.simulate_sessions` event for event (same
+server ordering, same departure handling), so a deterministic policy
+produces byte-identical placements here and there; the parity tests rely
+on this.  What the broker adds is the serving-side machinery the offline
+simulator has no use for: telemetry, caches, fallback accounting, and a
+JSON-able report instead of ground-truth QoS accounting.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.scheduling.dynamic import Session
+from repro.serving.admission import AdmissionController
+from repro.serving.policies import Signature
+
+__all__ = ["PlacementRecord", "ServingReport", "RequestBroker"]
+
+
+@dataclass(frozen=True)
+class PlacementRecord:
+    """One arrival's outcome.
+
+    ``choice`` is the policy's index into the open-server list presented
+    at decision time (``None`` = new server) — directly comparable with an
+    offline policy's return value; ``server_id`` is the stable identifier
+    of the server that ended up hosting the session.
+    """
+
+    index: int
+    game: str
+    choice: int | None
+    server_id: int
+    policy: str
+    fallback: bool
+
+
+@dataclass
+class ServingReport:
+    """Everything one broker run produced."""
+
+    placements: list[PlacementRecord]
+    servers_opened: int
+    peak_servers: int
+    telemetry: dict = field(default_factory=dict)
+
+    @property
+    def n_sessions(self) -> int:
+        """Sessions replayed."""
+        return len(self.placements)
+
+    def choices(self) -> list[int | None]:
+        """Per-arrival policy decisions (index into open servers or None)."""
+        return [p.choice for p in self.placements]
+
+    def server_ids(self) -> list[int]:
+        """Per-arrival hosting server ids."""
+        return [p.server_id for p in self.placements]
+
+    def to_dict(self) -> dict:
+        """JSON-able summary including per-session placements."""
+        return {
+            "n_sessions": self.n_sessions,
+            "servers_opened": self.servers_opened,
+            "peak_servers": self.peak_servers,
+            "placements": [
+                {
+                    "index": p.index,
+                    "game": p.game,
+                    "choice": p.choice,
+                    "server_id": p.server_id,
+                    "policy": p.policy,
+                    "fallback": p.fallback,
+                }
+                for p in self.placements
+            ],
+            "telemetry": self.telemetry,
+        }
+
+
+class RequestBroker:
+    """Event loop pairing a session trace with an admission controller."""
+
+    def __init__(self, controller: AdmissionController):
+        self.controller = controller
+
+    def run(self, sessions: Sequence[Session]) -> ServingReport:
+        """Replay ``sessions`` (sorted by arrival) through the controller.
+
+        Departures are applied before each arrival's decision, exactly as
+        in :func:`repro.scheduling.dynamic.simulate_sessions`; emptied
+        servers leave the pool.  Returns the placement log plus a
+        telemetry snapshot (with cache statistics folded in).
+        """
+        ordered = sorted(sessions, key=lambda s: s.arrival)
+        servers: dict[int, list[Session]] = {}
+        departures: list[tuple[float, int, int]] = []  # (time, seq, server_id)
+        next_server_id = 0
+        seq = 0
+        peak = 0
+        placements: list[PlacementRecord] = []
+
+        def pop_departures(until: float) -> None:
+            while departures and departures[0][0] <= until:
+                _, _, server_id = heapq.heappop(departures)
+                members = servers.get(server_id)
+                if members is None:
+                    continue
+                members.pop(0)
+                if not members:
+                    del servers[server_id]
+                self.controller.telemetry.counter("departures").inc()
+
+        def signature(members: list[Session]) -> Signature:
+            return tuple(sorted((s.game, s.resolution) for s in members))
+
+        for index, session in enumerate(ordered):
+            pop_departures(session.arrival)
+            sigs = [signature(m) for m in servers.values()]
+            ids = list(servers.keys())
+            decision = self.controller.decide(sigs, session)
+            if decision.server is None:
+                server_id = next_server_id
+                next_server_id += 1
+                servers[server_id] = [session]
+            else:
+                server_id = ids[decision.server]
+                servers[server_id].append(session)
+                # Keep departure order: earliest-ending session leaves first.
+                servers[server_id].sort(key=lambda s: s.arrival + s.duration)
+            heapq.heappush(
+                departures, (session.arrival + session.duration, seq, server_id)
+            )
+            seq += 1
+            peak = max(peak, len(servers))
+            placements.append(
+                PlacementRecord(
+                    index=index,
+                    game=session.game,
+                    choice=decision.server,
+                    server_id=server_id,
+                    policy=decision.policy,
+                    fallback=decision.fallback,
+                )
+            )
+
+        telemetry = self.controller.telemetry.snapshot()
+        telemetry["caches"] = {
+            name: cache.stats()
+            for name, cache in self.controller.caches().items()
+        }
+        return ServingReport(
+            placements=placements,
+            servers_opened=next_server_id,
+            peak_servers=peak,
+            telemetry=telemetry,
+        )

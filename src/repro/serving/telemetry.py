@@ -1,0 +1,178 @@
+"""Serving telemetry: monotonic counters and fixed-bucket latency histograms.
+
+The broker and admission controller record everything an operator would
+scrape from a real dispatcher — request/admission/fallback counts and
+per-decision latency distributions — without any external dependency.
+Histograms use fixed upper-bound buckets (Prometheus-style ``le`` edges)
+so snapshots from different processes are mergeable by bucket-wise
+addition.  :meth:`Telemetry.snapshot` returns plain dicts/lists/floats,
+directly serializable with :func:`json.dumps`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+
+__all__ = ["Counter", "LatencyHistogram", "Telemetry", "DEFAULT_LATENCY_BUCKETS"]
+
+#: Default latency bucket upper bounds in seconds: 50us .. 1s, log-ish spaced.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    5e-5,
+    1e-4,
+    2.5e-4,
+    5e-4,
+    1e-3,
+    2.5e-3,
+    5e-3,
+    1e-2,
+    2.5e-2,
+    5e-2,
+    1e-1,
+    2.5e-1,
+    5e-1,
+    1.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0 — counters never decrease)."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {n})")
+        self._value += n
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram of observed durations (seconds).
+
+    Buckets are cumulative-style upper bounds; observations above the last
+    edge land in an implicit +inf overflow bucket.  Tracks count and sum,
+    so both mean and bucketed quantile estimates are available.
+    """
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # + overflow
+        self._count = 0
+        self._total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration."""
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds}")
+        for i, edge in enumerate(self.buckets):
+            if seconds <= edge:
+                self._counts[i] += 1
+                break
+        else:
+            self._counts[-1] += 1
+        self._count += 1
+        self._total += seconds
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of observed durations (seconds)."""
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        """Mean observed duration (0.0 before any observation)."""
+        return self._total / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucketed quantile estimate: the upper edge of the q-th bucket.
+
+        Overflow observations report the last finite edge (the estimate is
+        a lower bound there).  Returns 0.0 before any observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = math.ceil(q * self._count)
+        running = 0
+        for i, n in enumerate(self._counts):
+            running += n
+            if running >= rank:
+                return self.buckets[min(i, len(self.buckets) - 1)]
+        return self.buckets[-1]
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot: count, total, mean, p50/p99, bucket counts."""
+        return {
+            "count": self._count,
+            "total_s": self._total,
+            "mean_s": self.mean,
+            "p50_s": self.quantile(0.5),
+            "p99_s": self.quantile(0.99),
+            "buckets": [
+                {"le_s": edge, "count": n}
+                for edge, n in zip(self.buckets, self._counts)
+            ]
+            + [{"le_s": None, "count": self._counts[-1]}],
+        }
+
+
+class Telemetry:
+    """Registry of named counters and histograms with one JSON snapshot.
+
+    Metrics are created on first use, so instrumented code never has to
+    pre-declare what it records.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The named counter (created at zero on first use)."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    ) -> LatencyHistogram:
+        """The named histogram (created empty on first use)."""
+        if name not in self._histograms:
+            self._histograms[name] = LatencyHistogram(name, buckets)
+        return self._histograms[name]
+
+    @contextmanager
+    def time(self, name: str):
+        """Context manager observing the block's wall time into ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram(name).observe(time.perf_counter() - start)
+
+    def snapshot(self) -> dict:
+        """All metrics as plain JSON-serializable types."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(self._histograms.items())
+            },
+        }

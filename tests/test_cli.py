@@ -8,6 +8,14 @@ from repro.cli import main, parse_colocation
 from repro.games.resolution import REFERENCE_RESOLUTION, Resolution
 
 
+@pytest.fixture()
+def predictor_path(minilab, tmp_path):
+    """The minilab's trained predictor saved as a CLI-loadable bundle."""
+    path = tmp_path / "predictor.json"
+    minilab.predictor.save(path)
+    return str(path)
+
+
 class TestParseColocation:
     def test_with_resolutions(self):
         spec = parse_colocation("Dota2@1920x1080, H1Z1@1280x720")
@@ -102,6 +110,72 @@ class TestFullWorkflow:
         out = capsys.readouterr().out
         assert "predicted FPS" in out
         assert rc in (0, 2)
+
+    def test_serve_cm_feasible(self, predictor_path, capsys):
+        rc = main(
+            [
+                "serve",
+                "--predictor",
+                predictor_path,
+                "--requests",
+                "120",
+                "--arrival-rate",
+                "4.0",
+                "--policy",
+                "cm-feasible",
+                "--trace-seed",
+                "3",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_sessions"] == 120
+        assert len(payload["placements"]) == 120
+        counters = payload["telemetry"]["counters"]
+        assert counters["requests"] == 120
+        assert counters.get("policy_errors", 0) == 0
+        assert payload["telemetry"]["caches"]["cm-feasible"]["hit_rate"] > 0
+        assert payload["telemetry"]["histograms"]["decision_latency_s"]["count"] == 120
+        assert payload["config"]["policy"] == "cm-feasible"
+
+    def test_serve_dedicated_to_file(self, predictor_path, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        rc = main(
+            [
+                "serve",
+                "--predictor",
+                predictor_path,
+                "--requests",
+                "25",
+                "--policy",
+                "dedicated",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["servers_opened"] == 25
+        assert all(p["choice"] is None for p in payload["placements"])
+
+    def test_serve_deterministic_in_trace_seed(self, predictor_path, capsys):
+        argv = [
+            "serve",
+            "--predictor",
+            predictor_path,
+            "--requests",
+            "40",
+            "--policy",
+            "worst-fit",
+            "--trace-seed",
+            "9",
+        ]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["placements"] == second["placements"]
 
     def test_predict_unknown_game(self, tmp_path, capsys):
         # Errors surface as exit code 1 with a message, not tracebacks.

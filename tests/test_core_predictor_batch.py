@@ -1,0 +1,148 @@
+"""Tests for the predictor's batched API and up-front profile validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import InterferencePredictor, MissingProfileError
+from repro.core.training import ColocationSpec, generate_colocations
+from repro.games.resolution import REFERENCE_RESOLUTION
+
+
+class CountingModel:
+    """Wraps a CM/RM, counting ``predict_from_features`` invocations."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def predict_from_features(self, X):
+        self.calls += 1
+        return self.inner.predict_from_features(X)
+
+
+@pytest.fixture()
+def counting_predictor(minilab):
+    classifier = CountingModel(minilab.cm_model)
+    regressor = CountingModel(minilab.rm_model)
+    return (
+        InterferencePredictor(minilab.db, classifier=classifier, regressor=regressor),
+        classifier,
+        regressor,
+    )
+
+
+def _specs(minilab, n_pairs=6, n_triples=3, seed=13):
+    specs = generate_colocations(
+        minilab.names, sizes={2: n_pairs, 3: n_triples}, seed=seed
+    )
+    # Include a solo spec: the batch path must handle size-1 colocations.
+    specs.append(ColocationSpec(((minilab.names[0], REFERENCE_RESOLUTION),)))
+    return specs
+
+
+class TestBatchParity:
+    """Batched predictions equal single calls, with fewer model invocations."""
+
+    def test_predict_batch_matches_single_calls(self, minilab, counting_predictor):
+        predictor, classifier, regressor = counting_predictor
+        specs = _specs(minilab)
+        batch = predictor.predict_batch(specs, qos=60.0)
+        batch_calls = (classifier.calls, regressor.calls)
+        for spec, result in zip(specs, batch):
+            assert np.array_equal(result["fps"], predictor.predict_fps(spec))
+            assert np.array_equal(
+                result["degradations"], predictor.predict_degradations(spec)
+            )
+            assert np.array_equal(
+                result["feasible"], predictor.predict_feasible(spec, 60.0)
+            )
+        # One invocation per model for the whole batch; each single-spec
+        # call with >= 2 entries costs one more.
+        assert batch_calls == (1, 1)
+        assert classifier.calls > 1 + len(specs) // 2
+        assert regressor.calls > 1 + len(specs) // 2
+
+    def test_feasible_batch_matches(self, minilab, counting_predictor):
+        predictor, classifier, _ = counting_predictor
+        specs = _specs(minilab, seed=14)
+        batched = predictor.predict_feasible_batch(specs, 60.0)
+        assert classifier.calls == 1
+        for spec, verdicts in zip(specs, batched):
+            assert np.array_equal(verdicts, predictor.predict_feasible(spec, 60.0))
+
+    def test_colocations_feasible_matches(self, minilab):
+        specs = _specs(minilab, seed=15)
+        whole = minilab.predictor.colocations_feasible(specs, 60.0)
+        singles = [
+            minilab.predictor.colocation_feasible(spec, 60.0) for spec in specs
+        ]
+        assert list(whole) == singles
+
+    def test_degradations_batch_solo_is_ones(self, minilab):
+        solo = ColocationSpec(((minilab.names[0], REFERENCE_RESOLUTION),))
+        (out,) = minilab.predictor.predict_degradations_batch([solo])
+        assert np.array_equal(out, np.ones(1))
+
+    def test_predict_batch_without_qos_skips_cm(self, minilab, counting_predictor):
+        predictor, classifier, _ = counting_predictor
+        results = predictor.predict_batch(_specs(minilab, seed=16))
+        assert classifier.calls == 0
+        assert all("feasible" not in r for r in results)
+        assert all("fps" in r for r in results)
+
+    def test_unfitted_models_raise(self, minilab):
+        cm_only = InterferencePredictor(minilab.db, classifier=minilab.cm_model)
+        with pytest.raises(RuntimeError, match="regression"):
+            cm_only.predict_degradations_batch(_specs(minilab))
+        rm_only = InterferencePredictor(minilab.db, regressor=minilab.rm_model)
+        with pytest.raises(RuntimeError, match="classification"):
+            rm_only.predict_feasible_batch(_specs(minilab), 60.0)
+
+
+class TestMissingProfileValidation:
+    """Unknown games fail up front with one clear error naming them."""
+
+    def test_single_call_raises_named_error(self, minilab):
+        spec = ColocationSpec(
+            (
+                ("NoSuchGame", REFERENCE_RESOLUTION),
+                (minilab.names[0], REFERENCE_RESOLUTION),
+            )
+        )
+        with pytest.raises(MissingProfileError, match="NoSuchGame"):
+            minilab.predictor.predict_fps(spec)
+        with pytest.raises(MissingProfileError, match="NoSuchGame"):
+            minilab.predictor.predict_feasible(spec, 60.0)
+
+    def test_error_is_a_keyerror(self, minilab):
+        spec = ColocationSpec((("NoSuchGame", REFERENCE_RESOLUTION),))
+        with pytest.raises(KeyError):
+            minilab.predictor.predict_fps(spec)
+
+    def test_all_missing_games_named_once(self, minilab):
+        spec = ColocationSpec(
+            (
+                ("GhostA", REFERENCE_RESOLUTION),
+                ("GhostB", REFERENCE_RESOLUTION),
+                ("GhostA", REFERENCE_RESOLUTION),
+            )
+        )
+        with pytest.raises(MissingProfileError) as excinfo:
+            minilab.predictor.predict_fps(spec)
+        assert excinfo.value.missing == ("GhostA", "GhostB")
+        assert "GhostA" in str(excinfo.value)
+        assert "GhostB" in str(excinfo.value)
+
+    def test_batch_raises_too(self, minilab):
+        spec = ColocationSpec(
+            (
+                ("NoSuchGame", REFERENCE_RESOLUTION),
+                (minilab.names[0], REFERENCE_RESOLUTION),
+            )
+        )
+        with pytest.raises(MissingProfileError, match="NoSuchGame"):
+            minilab.predictor.predict_feasible_batch([spec], 60.0)
+
+    def test_validate_spec_passes_on_known_games(self, minilab):
+        spec = ColocationSpec(((minilab.names[0], REFERENCE_RESOLUTION),))
+        minilab.predictor.validate_spec(spec)

@@ -1,0 +1,100 @@
+"""Tests for the serving prediction cache and its key canonicalization."""
+
+import pytest
+
+from repro.games.resolution import Resolution
+from repro.serving.cache import PredictionCache, colocation_key
+
+R1080 = Resolution(1920, 1080)
+R720 = Resolution(1280, 720)
+
+
+class TestColocationKey:
+    def test_order_insensitive(self):
+        forward = colocation_key((("a", R1080), ("b", R720)))
+        backward = colocation_key((("b", R720), ("a", R1080)))
+        assert forward == backward
+
+    def test_duplicate_entries_are_a_multiset(self):
+        single = colocation_key((("a", R1080),))
+        double = colocation_key((("a", R1080), ("a", R1080)))
+        assert single != double
+        assert colocation_key((("a", R1080), ("a", R1080))) == double
+
+    def test_resolution_distinguishes(self):
+        assert colocation_key((("a", R1080),)) != colocation_key((("a", R720),))
+
+    def test_qos_in_key(self):
+        entries = (("a", R1080), ("b", R720))
+        assert colocation_key(entries, 60.0) != colocation_key(entries, 50.0)
+        assert colocation_key(entries, 60.0) != colocation_key(entries)
+        assert colocation_key(entries, 60) == colocation_key(entries, 60.0)
+
+    def test_key_is_hashable(self):
+        {colocation_key((("a", R1080),), 60.0): True}
+
+
+class TestPredictionCache:
+    def test_miss_then_hit(self):
+        cache = PredictionCache(4)
+        key = colocation_key((("a", R1080),), 60.0)
+        assert cache.lookup(key) is None
+        cache.put(key, False)
+        assert cache.lookup(key) is False
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = PredictionCache(2)
+        k1, k2, k3 = (("k", 1),), (("k", 2),), (("k", 3),)
+        cache.put(k1, 1)
+        cache.put(k2, 2)
+        cache.lookup(k1)  # refresh k1: k2 becomes LRU
+        cache.put(k3, 3)
+        assert k1 in cache
+        assert k2 not in cache
+        assert k3 in cache
+        assert cache.evictions == 1
+
+    def test_capacity_bound(self):
+        cache = PredictionCache(8)
+        for i in range(50):
+            cache.put(("k", i), i)
+        assert len(cache) == 8
+        assert cache.evictions == 42
+
+    def test_zero_capacity_disables(self):
+        cache = PredictionCache(0)
+        cache.put(("k",), 1)
+        assert len(cache) == 0
+        assert cache.lookup(("k",)) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PredictionCache(-1)
+
+    def test_get_or_compute(self):
+        cache = PredictionCache(4)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute(("k",), compute) == "value"
+        assert cache.get_or_compute(("k",), compute) == "value"
+        assert len(calls) == 1
+
+    def test_clear_keeps_stats(self):
+        cache = PredictionCache(4)
+        cache.put(("k",), 1)
+        cache.lookup(("k",))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_stats_jsonable(self):
+        import json
+
+        json.dumps(PredictionCache(4).stats())

@@ -1,0 +1,80 @@
+"""Tests for serving telemetry counters and latency histograms."""
+
+import json
+
+import pytest
+
+from repro.serving.telemetry import Counter, LatencyHistogram, Telemetry
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("requests")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestLatencyHistogram:
+    def test_bucket_assignment(self):
+        h = LatencyHistogram("lat", buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05, 5.0):
+            h.observe(value)
+        assert h.count == 4
+        snapshot = h.to_dict()
+        counts = [b["count"] for b in snapshot["buckets"]]
+        assert counts == [1, 1, 1, 1]  # one per bucket + one overflow
+        assert snapshot["buckets"][-1]["le_s"] is None
+
+    def test_mean_and_total(self):
+        h = LatencyHistogram("lat", buckets=(1.0,))
+        h.observe(0.2)
+        h.observe(0.4)
+        assert h.total == pytest.approx(0.6)
+        assert h.mean == pytest.approx(0.3)
+
+    def test_quantile_estimates(self):
+        h = LatencyHistogram("lat", buckets=(0.001, 0.01, 0.1))
+        for _ in range(99):
+            h.observe(0.0005)
+        h.observe(0.05)
+        assert h.quantile(0.5) == pytest.approx(0.001)
+        assert h.quantile(1.0) == pytest.approx(0.1)
+
+    def test_empty_quantile(self):
+        assert LatencyHistogram("lat").quantile(0.99) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram("lat", buckets=())
+        with pytest.raises(ValueError):
+            LatencyHistogram("lat", buckets=(0.1, 0.01))
+        h = LatencyHistogram("lat")
+        with pytest.raises(ValueError):
+            h.observe(-1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestTelemetry:
+    def test_create_on_first_use(self):
+        t = Telemetry()
+        t.counter("requests").inc()
+        assert t.counter("requests").value == 1
+
+    def test_timer_context(self):
+        t = Telemetry()
+        with t.time("decision_latency_s"):
+            pass
+        assert t.histogram("decision_latency_s").count == 1
+
+    def test_snapshot_json_serializable(self):
+        t = Telemetry()
+        t.counter("requests").inc(3)
+        t.histogram("lat").observe(0.002)
+        snapshot = t.snapshot()
+        parsed = json.loads(json.dumps(snapshot))
+        assert parsed["counters"]["requests"] == 3
+        assert parsed["histograms"]["lat"]["count"] == 1
