@@ -1,6 +1,5 @@
 """Figure 4 bench: sensitivity curves of representative games."""
 
-import numpy as np
 
 from benchmarks.conftest import emit, run_once
 from repro.experiments import fig04_sensitivity

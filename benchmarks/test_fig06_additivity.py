@@ -1,6 +1,5 @@
 """Figure 6 bench: aggregate intensity vs sum of individual intensities."""
 
-import numpy as np
 
 from benchmarks.conftest import emit, run_once
 from repro.experiments import fig06_additivity

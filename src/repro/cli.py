@@ -139,8 +139,12 @@ def _cmd_predict(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.serving import (
         AdmissionController,
+        BreakerConfig,
+        FaultConfig,
+        FaultInjector,
         PredictionCache,
         RequestBroker,
+        Telemetry,
         TraceConfig,
         build_policy,
         generate_trace,
@@ -155,6 +159,13 @@ def _cmd_serve(args) -> int:
         seed=args.trace_seed,
     )
     sessions = generate_trace(predictor.db.names(), trace_config)
+    telemetry = Telemetry()
+    fault_config = FaultConfig(error_rate=args.fault_rate, seed=args.trace_seed)
+    injector = (
+        FaultInjector(fault_config, telemetry=telemetry)
+        if fault_config.active
+        else None
+    )
     cache = PredictionCache(args.cache_size)
     policy, fallback = build_policy(
         args.policy,
@@ -162,15 +173,34 @@ def _cmd_serve(args) -> int:
         qos=args.qos,
         cache=cache,
         max_colocation=args.max_colocation,
+        injector=injector,
     )
-    controller = AdmissionController(policy, fallback=fallback)
-    report = RequestBroker(controller).run(sessions)
+    deadline_s = (
+        args.decision_deadline_ms / 1000.0
+        if args.decision_deadline_ms is not None
+        else None
+    )
+    controller = AdmissionController(
+        policy,
+        fallback=fallback,
+        telemetry=telemetry,
+        breaker=BreakerConfig(failure_threshold=args.breaker_threshold),
+        decision_deadline_s=deadline_s,
+    )
+    broker = RequestBroker(
+        controller, crash_rate=args.crash_rate, crash_seed=args.trace_seed
+    )
+    report = broker.run(sessions)
     payload = report.to_dict()
     payload["config"] = {
         "policy": args.policy,
         "qos": args.qos,
         "cache_size": args.cache_size,
         "max_colocation": args.max_colocation,
+        "fault_rate": args.fault_rate,
+        "crash_rate": args.crash_rate,
+        "decision_deadline_ms": args.decision_deadline_ms,
+        "breaker_threshold": args.breaker_threshold,
         "trace": trace_config.to_dict(),
     }
     text = json.dumps(payload, indent=2)
@@ -254,6 +284,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-colocation", type=int, default=4, help="games per server cap"
     )
     p.add_argument("--trace-seed", type=int, default=0, help="trace RNG seed")
+    p.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="chaos: per-call probability of an injected predictor fault",
+    )
+    p.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.0,
+        help="chaos: per-arrival probability that an open server crashes",
+    )
+    p.add_argument(
+        "--decision-deadline-ms",
+        type=float,
+        default=None,
+        help="per-decision latency budget; overruns count as policy failures",
+    )
+    p.add_argument(
+        "--breaker-threshold",
+        type=float,
+        default=0.5,
+        help="failure fraction over the breaker window that trips DEGRADED mode",
+    )
     p.add_argument("--out", help="write the JSON report here instead of stdout")
     p.set_defaults(fn=_cmd_serve)
 
@@ -265,11 +319,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    All user-input failures — unknown games or policies, malformed
+    colocations or trace configs, missing artifact files, corrupt or
+    truncated JSON bundles — exit nonzero with a one-line message instead
+    of a traceback.
+    """
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, OSError) as exc:
+        # ValueError covers SerializationError and json.JSONDecodeError;
+        # OSError covers missing/unreadable artifact paths.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -259,6 +259,11 @@ class InterferencePredictor:
         from repro.utils.serialization import load_json
 
         bundle = load_json(path)
+        if not isinstance(bundle, dict) or "db" not in bundle:
+            raise ValueError(
+                f"{path}: not a predictor bundle (expected an object with a "
+                "'db' key; was this written by InterferencePredictor.save?)"
+            )
         return cls(
             ProfileDatabase.from_dict(bundle["db"]),
             classifier=(

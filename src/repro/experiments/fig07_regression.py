@@ -20,7 +20,7 @@ from repro.experiments.evalutils import (
     breakdown_by_size,
 )
 from repro.experiments.lab import Lab
-from repro.experiments.tables import cdf_points, format_series, format_table
+from repro.experiments.tables import format_series, format_table
 from repro.ml import (
     SVR,
     DecisionTreeRegressor,

@@ -14,7 +14,6 @@ dedicated servers by a wide margin.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core import InterferencePredictor
 from repro.experiments.lab import Lab

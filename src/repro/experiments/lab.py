@@ -18,8 +18,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from collections.abc import Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from pathlib import Path
 

@@ -16,9 +16,8 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.training import ColocationSpec
 from repro.games.catalog import GameCatalog

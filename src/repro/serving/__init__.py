@@ -6,11 +6,28 @@ a fleet — a discrete-event :class:`RequestBroker` consuming a session
 trace, an :class:`AdmissionController` that evaluates candidate servers
 through pluggable policies with graceful fallback, a canonical-key LRU
 :class:`PredictionCache` over the predictor's batched API, and
-:class:`Telemetry` (counters + latency histograms) exposed as one JSON
-snapshot.  ``python -m repro serve`` wires it all together.
+:class:`Telemetry` (counters + latency histograms + event log) exposed as
+one JSON snapshot.  ``python -m repro serve`` wires it all together.
+
+The fault-tolerance layer keeps the dispatcher up when components fail:
+a seeded :class:`FaultInjector` wraps policies/predictors/caches with
+deterministic chaos (errors, latency spikes, stale answers, corrupted
+predictions), a :class:`CircuitBreaker` per policy drives the
+controller's NORMAL → DEGRADED → CONSERVATIVE state machine, and the
+broker survives server crashes by re-admitting evicted sessions — all
+surfaced in the report's resilience section.
 """
 
-from repro.serving.admission import AdmissionController, AdmissionDecision
+from repro.serving.admission import AdmissionController, AdmissionDecision, Mode
+from repro.serving.breaker import BreakerConfig, BreakerState, CircuitBreaker
+from repro.serving.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultyCache,
+    FaultyPolicy,
+    FaultyPredictor,
+    InjectedFault,
+)
 from repro.serving.broker import PlacementRecord, RequestBroker, ServingReport
 from repro.serving.cache import PredictionCache, colocation_key
 from repro.serving.loadgen import TraceConfig, generate_trace
@@ -34,6 +51,16 @@ from repro.serving.telemetry import (
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "Mode",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultyCache",
+    "FaultyPolicy",
+    "FaultyPredictor",
+    "InjectedFault",
     "RequestBroker",
     "ServingReport",
     "PlacementRecord",

@@ -11,8 +11,14 @@ The pool bookkeeping deliberately mirrors
 server ordering, same departure handling), so a deterministic policy
 produces byte-identical placements here and there; the parity tests rely
 on this.  What the broker adds is the serving-side machinery the offline
-simulator has no use for: telemetry, caches, fallback accounting, and a
-JSON-able report instead of ground-truth QoS accounting.
+simulator has no use for: telemetry, caches, fallback accounting, a
+JSON-able report instead of ground-truth QoS accounting — and failure
+realism.  With a nonzero ``crash_rate``, servers crash at (seeded,
+deterministic) random before arrivals: a crashed server leaves the pool
+and its live sessions re-enter the admission queue for immediate
+re-placement, counted as ``server_crashes`` / ``sessions_evicted`` /
+``readmissions``.  With ``crash_rate`` zero the crash RNG is never
+consulted, preserving placement parity with the offline simulator.
 """
 
 from __future__ import annotations
@@ -24,18 +30,20 @@ from dataclasses import dataclass, field
 from repro.scheduling.dynamic import Session
 from repro.serving.admission import AdmissionController
 from repro.serving.policies import Signature
+from repro.utils.rng import spawn_rng
 
 __all__ = ["PlacementRecord", "ServingReport", "RequestBroker"]
 
 
 @dataclass(frozen=True)
 class PlacementRecord:
-    """One arrival's outcome.
+    """One admission decision's outcome.
 
     ``choice`` is the policy's index into the open-server list presented
     at decision time (``None`` = new server) — directly comparable with an
     offline policy's return value; ``server_id`` is the stable identifier
-    of the server that ended up hosting the session.
+    of the server that ended up hosting the session.  ``readmitted``
+    marks a session displaced by a server crash and placed again.
     """
 
     index: int
@@ -44,6 +52,19 @@ class PlacementRecord:
     server_id: int
     policy: str
     fallback: bool
+    readmitted: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-able form."""
+        return {
+            "index": self.index,
+            "game": self.game,
+            "choice": self.choice,
+            "server_id": self.server_id,
+            "policy": self.policy,
+            "fallback": self.fallback,
+            "readmitted": self.readmitted,
+        }
 
 
 @dataclass
@@ -54,10 +75,12 @@ class ServingReport:
     servers_opened: int
     peak_servers: int
     telemetry: dict = field(default_factory=dict)
+    readmissions: list[PlacementRecord] = field(default_factory=list)
+    resilience: dict = field(default_factory=dict)
 
     @property
     def n_sessions(self) -> int:
-        """Sessions replayed."""
+        """Sessions replayed (original arrivals, not re-admissions)."""
         return len(self.placements)
 
     def choices(self) -> list[int | None]:
@@ -74,34 +97,45 @@ class ServingReport:
             "n_sessions": self.n_sessions,
             "servers_opened": self.servers_opened,
             "peak_servers": self.peak_servers,
-            "placements": [
-                {
-                    "index": p.index,
-                    "game": p.game,
-                    "choice": p.choice,
-                    "server_id": p.server_id,
-                    "policy": p.policy,
-                    "fallback": p.fallback,
-                }
-                for p in self.placements
-            ],
+            "placements": [p.to_dict() for p in self.placements],
+            "readmissions": [p.to_dict() for p in self.readmissions],
+            "resilience": self.resilience,
             "telemetry": self.telemetry,
         }
 
 
 class RequestBroker:
-    """Event loop pairing a session trace with an admission controller."""
+    """Event loop pairing a session trace with an admission controller.
 
-    def __init__(self, controller: AdmissionController):
+    ``crash_rate`` is the per-arrival probability that one open server
+    crashes just before the arrival is handled; crashes are drawn from a
+    dedicated substream of ``crash_seed`` so a chaos run is exactly
+    reproducible and a zero rate never touches the RNG.
+    """
+
+    def __init__(
+        self,
+        controller: AdmissionController,
+        *,
+        crash_rate: float = 0.0,
+        crash_seed: int = 0,
+    ):
+        if not 0.0 <= crash_rate <= 1.0:
+            raise ValueError(f"crash_rate must be in [0, 1], got {crash_rate}")
         self.controller = controller
+        self.crash_rate = float(crash_rate)
+        self.crash_seed = int(crash_seed)
 
     def run(self, sessions: Sequence[Session]) -> ServingReport:
         """Replay ``sessions`` (sorted by arrival) through the controller.
 
         Departures are applied before each arrival's decision, exactly as
         in :func:`repro.scheduling.dynamic.simulate_sessions`; emptied
-        servers leave the pool.  Returns the placement log plus a
-        telemetry snapshot (with cache statistics folded in).
+        servers leave the pool.  Crash events (if enabled) fire after the
+        departures and before the arrival's own decision, and every
+        evicted live session is re-admitted immediately, oldest departure
+        first.  Returns the placement log plus a telemetry snapshot (with
+        cache statistics folded in) and the resilience summary.
         """
         ordered = sorted(sessions, key=lambda s: s.arrival)
         servers: dict[int, list[Session]] = {}
@@ -110,23 +144,33 @@ class RequestBroker:
         seq = 0
         peak = 0
         placements: list[PlacementRecord] = []
+        readmissions: list[PlacementRecord] = []
+        telemetry = self.controller.telemetry
+        crash_rng = (
+            spawn_rng(self.crash_seed, "server-crashes")
+            if self.crash_rate > 0
+            else None
+        )
 
         def pop_departures(until: float) -> None:
             while departures and departures[0][0] <= until:
                 _, _, server_id = heapq.heappop(departures)
                 members = servers.get(server_id)
                 if members is None:
+                    # Server already gone (emptied or crashed): a crashed
+                    # server's sessions were re-admitted under new ids and
+                    # carry fresh departure entries.
                     continue
                 members.pop(0)
                 if not members:
                     del servers[server_id]
-                self.controller.telemetry.counter("departures").inc()
+                telemetry.counter("departures").inc()
 
         def signature(members: list[Session]) -> Signature:
             return tuple(sorted((s.game, s.resolution) for s in members))
 
-        for index, session in enumerate(ordered):
-            pop_departures(session.arrival)
+        def admit(session: Session, index: int, readmitted: bool) -> PlacementRecord:
+            nonlocal next_server_id, seq, peak
             sigs = [signature(m) for m in servers.values()]
             ids = list(servers.keys())
             decision = self.controller.decide(sigs, session)
@@ -144,25 +188,63 @@ class RequestBroker:
             )
             seq += 1
             peak = max(peak, len(servers))
-            placements.append(
-                PlacementRecord(
-                    index=index,
-                    game=session.game,
-                    choice=decision.server,
-                    server_id=server_id,
-                    policy=decision.policy,
-                    fallback=decision.fallback,
-                )
+            return PlacementRecord(
+                index=index,
+                game=session.game,
+                choice=decision.server,
+                server_id=server_id,
+                policy=decision.policy,
+                fallback=decision.fallback,
+                readmitted=readmitted,
             )
 
-        telemetry = self.controller.telemetry.snapshot()
-        telemetry["caches"] = {
+        def maybe_crash(now: float, index: int) -> None:
+            if crash_rng is None or not servers:
+                return
+            if crash_rng.random() >= self.crash_rate:
+                return
+            victim = list(servers.keys())[int(crash_rng.integers(len(servers)))]
+            evicted = servers.pop(victim)
+            telemetry.counter("server_crashes").inc()
+            telemetry.counter("sessions_evicted").inc(len(evicted))
+            telemetry.event(
+                "server_crash",
+                time=now,
+                arrival_index=index,
+                server_id=victim,
+                evicted=len(evicted),
+            )
+            # Evicted sessions re-enter the admission queue immediately,
+            # earliest-departing first (the order they were hosted in).
+            for session in evicted:
+                telemetry.counter("readmissions").inc()
+                readmissions.append(admit(session, index, True))
+
+        for index, session in enumerate(ordered):
+            pop_departures(session.arrival)
+            maybe_crash(session.arrival, index)
+            placements.append(admit(session, index, False))
+
+        snapshot = telemetry.snapshot()
+        snapshot["caches"] = {
             name: cache.stats()
             for name, cache in self.controller.caches().items()
         }
+        counters = snapshot["counters"]
+        resilience = self.controller.resilience_snapshot()
+        resilience.update(
+            {
+                "crash_rate": self.crash_rate,
+                "server_crashes": counters.get("server_crashes", 0),
+                "sessions_evicted": counters.get("sessions_evicted", 0),
+                "readmissions": counters.get("readmissions", 0),
+            }
+        )
         return ServingReport(
             placements=placements,
             servers_opened=next_server_id,
             peak_servers=peak,
-            telemetry=telemetry,
+            telemetry=snapshot,
+            readmissions=readmissions,
+            resilience=resilience,
         )

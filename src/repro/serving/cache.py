@@ -60,6 +60,7 @@ class PredictionCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
 
     # ------------------------------------------------------------------
 
@@ -95,6 +96,19 @@ class PredictionCache:
             self.put(key, value)
         return value
 
+    def invalidate(self, key: tuple) -> bool:
+        """Drop ``key`` if present (returns whether an entry was removed).
+
+        Invalidation is the *semantic* removal path — a profile was
+        re-measured, a model was retrained, a fault injector declared the
+        entry stale — counted separately from capacity evictions.
+        """
+        if key not in self._store:
+            return False
+        del self._store[key]
+        self._invalidations += 1
+        return True
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -120,6 +134,11 @@ class PredictionCache:
         return self._evictions
 
     @property
+    def invalidations(self) -> int:
+        """Entries dropped explicitly via :meth:`invalidate`."""
+        return self._invalidations
+
+    @property
     def hit_rate(self) -> float:
         """Hits over total lookups (0.0 before any lookup)."""
         total = self._hits + self._misses
@@ -133,5 +152,6 @@ class PredictionCache:
             "hits": self._hits,
             "misses": self._misses,
             "evictions": self._evictions,
+            "invalidations": self._invalidations,
             "hit_rate": self.hit_rate,
         }

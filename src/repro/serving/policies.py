@@ -264,6 +264,7 @@ def build_policy(
     max_colocation: int = 4,
     margin: float = 1.0,
     server: ServerSpec = DEFAULT_SERVER,
+    injector=None,
 ) -> tuple[AdmissionPolicy, AdmissionPolicy | None]:
     """Build the named ``(policy, fallback)`` pair for the serving loop.
 
@@ -271,6 +272,12 @@ def build_policy(
     VBP worst-fit over the predictor's profile database; the model-free
     policies need no fallback (the controller degrades to opening a new
     server if they raise).
+
+    ``injector`` (a :class:`repro.serving.faults.FaultInjector`) wraps the
+    predictor and cache on the *primary* path so chaos runs inject errors,
+    latency spikes, stale answers, and corrupted predictions there; the
+    fallback path stays un-injected — it is the component the degraded
+    modes rely on, and it queries only the profile database.
     """
     if name not in POLICY_NAMES:
         raise ValueError(f"unknown policy {name!r}; choose from {POLICY_NAMES}")
@@ -278,6 +285,10 @@ def build_policy(
         return DedicatedPolicy(), None
     if predictor is None:
         raise ValueError(f"policy {name!r} requires a predictor")
+    if injector is not None:
+        predictor = injector.wrap_predictor(predictor)
+        if cache is not None:
+            cache = injector.wrap_cache(cache)
     worst_fit = WorstFitPolicy(
         VBPJudge(predictor.db, server=server), max_colocation=max_colocation
     )

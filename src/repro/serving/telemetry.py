@@ -15,7 +15,17 @@ import math
 import time
 from contextlib import contextmanager
 
-__all__ = ["Counter", "LatencyHistogram", "Telemetry", "DEFAULT_LATENCY_BUCKETS"]
+__all__ = [
+    "Counter",
+    "LatencyHistogram",
+    "Telemetry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "MAX_EVENTS",
+]
+
+#: Cap on retained events: a misbehaving component (a flapping breaker, a
+#: chaos run with extreme rates) must not grow the snapshot without bound.
+MAX_EVENTS = 10_000
 
 #: Default latency bucket upper bounds in seconds: 50us .. 1s, log-ish spaced.
 DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
@@ -144,6 +154,8 @@ class Telemetry:
     def __init__(self):
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
+        self._events: list[dict] = []
+        self._events_dropped = 0
 
     def counter(self, name: str) -> Counter:
         """The named counter (created at zero on first use)."""
@@ -168,6 +180,24 @@ class Telemetry:
         finally:
             self.histogram(name).observe(time.perf_counter() - start)
 
+    def event(self, name: str, **fields) -> None:
+        """Append a structured event (breaker trip, mode change, crash...).
+
+        Events form an ordered log next to the aggregate counters — the
+        "what happened when" an operator needs after an incident.  At most
+        :data:`MAX_EVENTS` are retained; older ones are dropped and the
+        drop count is surfaced in the snapshot.
+        """
+        if len(self._events) >= MAX_EVENTS:
+            self._events.pop(0)
+            self._events_dropped += 1
+        self._events.append({"event": name, **fields})
+
+    @property
+    def events(self) -> list[dict]:
+        """The retained event log (oldest first)."""
+        return list(self._events)
+
     def snapshot(self) -> dict:
         """All metrics as plain JSON-serializable types."""
         return {
@@ -175,4 +205,6 @@ class Telemetry:
             "histograms": {
                 n: h.to_dict() for n, h in sorted(self._histograms.items())
             },
+            "events": list(self._events),
+            "events_dropped": self._events_dropped,
         }

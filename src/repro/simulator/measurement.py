@@ -9,14 +9,14 @@ colocations observe independent noise streams.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.hardware.server import DEFAULT_SERVER, ServerSpec
 from repro.simulator.engine import ColocationEngine, SteadyState
 from repro.simulator.frames import fps_from_frame_times, simulate_frame_times
-from repro.simulator.workload import BenchmarkInstance, GameInstance, Workload
+from repro.simulator.workload import GameInstance, Workload
 from repro.utils.rng import spawn_rng
 
 __all__ = ["MeasurementConfig", "ColocationResult", "run_colocation", "measure_solo_fps"]

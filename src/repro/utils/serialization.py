@@ -12,7 +12,18 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["to_jsonable", "dump_json", "load_json"]
+__all__ = ["SerializationError", "to_jsonable", "dump_json", "load_json"]
+
+
+class SerializationError(ValueError):
+    """A file on disk could not be parsed as the expected JSON artifact.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    error handling (e.g. the CLI's top-level handler) keeps working, but
+    the message always names the offending path — a truncated profile
+    database or predictor bundle must never surface as a bare
+    ``JSONDecodeError`` with no hint of *which* file is corrupt.
+    """
 
 
 def to_jsonable(obj: Any) -> Any:
@@ -40,5 +51,14 @@ def dump_json(obj: Any, path: str | Path, *, indent: int = 2) -> None:
 
 
 def load_json(path: str | Path) -> Any:
-    """Load JSON from ``path``."""
-    return json.loads(Path(path).read_text())
+    """Load JSON from ``path``.
+
+    A truncated or otherwise corrupt file raises
+    :class:`SerializationError` naming the path instead of a bare
+    :class:`json.JSONDecodeError`.
+    """
+    path = Path(path)
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path}: invalid or truncated JSON ({exc})") from exc

@@ -7,7 +7,7 @@ from repro.baselines import VBPJudge
 from repro.baselines.vbp import VBP_RESOURCES
 from repro.core.training import ColocationSpec
 from repro.games.resolution import Resolution
-from repro.hardware.resources import Resource, ResourceKind
+from repro.hardware.resources import Resource
 
 R1080 = Resolution(1920, 1080)
 R720 = Resolution(1280, 720)

@@ -211,3 +211,125 @@ class TestFullWorkflow:
         )
         assert rc == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestServeResilience:
+    """The chaos-serving CLI flags and the resilience report section."""
+
+    def test_chaos_flags_produce_resilience_report(self, predictor_path, capsys):
+        rc = main(
+            [
+                "serve",
+                "--predictor",
+                predictor_path,
+                "--requests",
+                "200",
+                "--arrival-rate",
+                "4.0",
+                "--policy",
+                "cm-feasible",
+                "--fault-rate",
+                "0.35",
+                "--crash-rate",
+                "0.05",
+                "--breaker-threshold",
+                "0.3",
+                "--trace-seed",
+                "13",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        counters = payload["telemetry"]["counters"]
+        assert payload["n_sessions"] == 200
+        assert counters["faults_injected"] > 0
+        assert counters["server_crashes"] > 0
+        assert counters["requests"] == 200 + counters.get("readmissions", 0)
+        assert payload["resilience"]["enabled"] is True
+        assert payload["resilience"]["breakers"]["primary"]["transitions"]
+        assert payload["config"]["fault_rate"] == 0.35
+        assert payload["config"]["crash_rate"] == 0.05
+        assert payload["config"]["breaker_threshold"] == 0.3
+
+    def test_zero_fault_flags_match_plain_serve(self, predictor_path, capsys):
+        base = [
+            "serve",
+            "--predictor",
+            predictor_path,
+            "--requests",
+            "60",
+            "--policy",
+            "cm-feasible",
+            "--trace-seed",
+            "2",
+        ]
+        assert main(base) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert (
+            main(base + ["--fault-rate", "0", "--crash-rate", "0"])
+            == 0
+        )
+        chaosless = json.loads(capsys.readouterr().out)
+        assert plain["placements"] == chaosless["placements"]
+        assert chaosless["resilience"]["trips"] == 0
+
+    def test_decision_deadline_flag(self, predictor_path, capsys):
+        rc = main(
+            [
+                "serve",
+                "--predictor",
+                predictor_path,
+                "--requests",
+                "30",
+                "--policy",
+                "worst-fit",
+                "--decision-deadline-ms",
+                "1e-9",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        counters = payload["telemetry"]["counters"]
+        assert counters["deadline_overruns"] == counters["requests"]
+        assert payload["resilience"]["trips"] >= 1
+
+    def test_bad_fault_rate_is_clean_error(self, predictor_path, capsys):
+        rc = main(
+            ["serve", "--predictor", predictor_path, "--fault-rate", "1.5"]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestUserInputErrors:
+    """All user-input failures exit 1 with a one-line message."""
+
+    def test_missing_predictor_file(self, capsys):
+        rc = main(["serve", "--predictor", "/nonexistent/predictor.json"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "predictor.json" in err
+
+    def test_corrupt_predictor_bundle(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.json"
+        path.write_text('{"db": {"profiles": [')  # truncated
+        rc = main(["serve", "--predictor", str(path)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "corrupt.json" in err
+
+    def test_wrong_schema_bundle(self, tmp_path, capsys):
+        path = tmp_path / "notabundle.json"
+        path.write_text('{"something": "else"}')
+        rc = main(["predict", "--predictor", str(path), "--colocation", "Dota2"])
+        assert rc == 1
+        assert "not a predictor bundle" in capsys.readouterr().err
+
+    def test_bad_trace_config_values(self, predictor_path, capsys):
+        rc = main(
+            ["serve", "--predictor", predictor_path, "--arrival-rate", "-1"]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,6 +1,5 @@
 """Tests for SensitivityCurve and GameProfile resolution laws."""
 
-import numpy as np
 import pytest
 
 from repro.core.profiles import GameProfile, SensitivityCurve

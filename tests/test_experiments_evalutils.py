@@ -1,7 +1,6 @@
 """Tests for shared evaluation plumbing."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.evalutils import (
     baseline_sample_predictions,

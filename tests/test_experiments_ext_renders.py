@@ -1,6 +1,5 @@
 """Unit tests for extension-module render functions (pure formatting)."""
 
-import numpy as np
 
 from repro.experiments import (
     ablations,

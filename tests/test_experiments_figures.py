@@ -5,7 +5,6 @@ harness; here the data-collection figures run end to end and their outputs
 satisfy the paper's qualitative observations.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

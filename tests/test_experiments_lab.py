@@ -1,7 +1,6 @@
 """Tests for the experiment lab: caching, splits, artifact wiring."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.lab import Lab, LabConfig, get_lab
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.games import REFERENCE_RESOLUTION, Resolution, build_catalog
+from repro.games import REFERENCE_RESOLUTION, build_catalog
 from repro.games.catalog import GAME_NAMES, REPRESENTATIVE_GAMES, GameCatalog
 from repro.games.genres import Genre, genre_archetypes
 from repro.hardware.resources import Resource

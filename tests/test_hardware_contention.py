@@ -12,7 +12,7 @@ from repro.hardware.contention import (
     cache_pressure,
     compute_pressure,
 )
-from repro.hardware.resources import NUM_RESOURCES, Resource, ResourceKind
+from repro.hardware.resources import NUM_RESOURCES, Resource
 
 utils = st.lists(st.floats(0.0, 1.0), min_size=0, max_size=6)
 

@@ -1,6 +1,5 @@
 """Tests for the resource model and ResourceVector."""
 
-import numpy as np
 import pytest
 
 from repro.hardware.resources import (

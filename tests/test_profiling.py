@@ -3,11 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core.profiles import GameProfile, SensitivityCurve
 from repro.games.resolution import Resolution
 from repro.hardware.resources import CPU_RESOURCES, Resource
 from repro.profiling import ContentionProfiler, ProfileDatabase, ProfilerConfig
-from repro.simulator.measurement import MeasurementConfig
 
 
 @pytest.fixture(scope="module")

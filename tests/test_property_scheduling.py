@@ -1,6 +1,5 @@
 """Property-based tests for packing and assignment conservation laws."""
 
-import itertools
 from collections import Counter
 
 import numpy as np

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.scheduling.metrics import (
-    FleetSummary,
     jain_fairness,
     qos_satisfaction,
     summarize_fleet,

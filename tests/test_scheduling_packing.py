@@ -1,6 +1,5 @@
 """Tests for Algorithm 1 request packing."""
 
-import pytest
 
 from repro.core.training import ColocationSpec
 from repro.games.resolution import Resolution

@@ -5,7 +5,7 @@ import collections
 import pytest
 
 from repro.games.resolution import PRESET_RESOLUTIONS, REFERENCE_RESOLUTION
-from repro.scheduling import GameRequest, generate_requests
+from repro.scheduling import generate_requests
 
 
 class TestGenerateRequests:

@@ -1,0 +1,150 @@
+"""Tests for the circuit breaker driving the serving degraded modes.
+
+The breaker is clocked in decisions, not wall time, so every scenario
+here is exactly deterministic: trip on sustained failures, deny while
+OPEN, probe after the cooldown, recover on enough successful probes, and
+re-open instantly on a failed probe.
+"""
+
+import pytest
+
+from repro.serving import BreakerConfig, BreakerState, CircuitBreaker
+
+
+def _breaker(**overrides):
+    defaults = dict(
+        failure_threshold=0.5,
+        window=4,
+        min_requests=2,
+        cooldown=3,
+        probe_window=2,
+    )
+    defaults.update(overrides)
+    return CircuitBreaker(BreakerConfig(**defaults), name="test")
+
+
+class TestConfigValidation:
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            BreakerConfig(failure_threshold=0.0)
+        with pytest.raises(ValueError, match="failure_threshold"):
+            BreakerConfig(failure_threshold=1.5)
+
+    def test_window_bounds(self):
+        with pytest.raises(ValueError, match="window"):
+            BreakerConfig(window=0)
+        with pytest.raises(ValueError, match="min_requests"):
+            BreakerConfig(window=4, min_requests=5)
+
+    def test_cooldown_and_probe(self):
+        with pytest.raises(ValueError, match="cooldown"):
+            BreakerConfig(cooldown=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            BreakerConfig(probe_window=0)
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        config = BreakerConfig()
+        assert json.loads(json.dumps(config.to_dict())) == config.to_dict()
+
+
+class TestTripAndDeny:
+    def test_starts_closed_and_allows(self):
+        breaker = _breaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+        assert breaker.trips == 0
+
+    def test_trips_on_sustained_failures(self):
+        breaker = _breaker()
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.record(False)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+        assert breaker.transitions[-1]["reason"] == "failure threshold exceeded"
+
+    def test_one_early_failure_cannot_trip(self):
+        breaker = _breaker(min_requests=2)
+        breaker.allow()
+        breaker.record(False)  # 100% failure rate but only 1 sample
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_successes_keep_it_closed(self):
+        breaker = _breaker()
+        for _ in range(20):
+            assert breaker.allow()
+            breaker.record(True)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.failure_rate == 0.0
+
+    def test_open_denies_until_cooldown(self):
+        breaker = _breaker(cooldown=3)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record(False)
+        # Two denials, then the cooldown elapses and a probe flows.
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+class TestRecovery:
+    def _trip(self, breaker):
+        for _ in range(2):
+            breaker.allow()
+            breaker.record(False)
+        assert breaker.state is BreakerState.OPEN
+        while not breaker.allow():
+            pass
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_successes_close(self):
+        breaker = _breaker(probe_window=2)
+        self._trip(breaker)
+        breaker.record(True)
+        assert breaker.state is BreakerState.HALF_OPEN  # one probe is not enough
+        assert breaker.allow()
+        breaker.record(True)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.recoveries == 1
+        # Recovery cleared the failure window: one new failure cannot trip.
+        breaker.allow()
+        breaker.record(False)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_failed_probe_reopens(self):
+        breaker = _breaker()
+        self._trip(breaker)
+        breaker.record(False)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.recoveries == 0
+        # The cooldown starts over after a failed probe.
+        assert not breaker.allow()
+
+    def test_transition_log_and_snapshot(self):
+        breaker = _breaker()
+        self._trip(breaker)
+        breaker.record(True)
+        breaker.allow()
+        breaker.record(True)
+        states = [t["to"] for t in breaker.transitions]
+        assert states == ["open", "half_open", "closed"]
+        snap = breaker.to_dict()
+        assert snap["state"] == "closed"
+        assert snap["trips"] == 1
+        assert snap["recoveries"] == 1
+        assert len(snap["transitions"]) == 3
+
+    def test_on_transition_callback(self):
+        seen = []
+        breaker = CircuitBreaker(
+            BreakerConfig(window=2, min_requests=1, failure_threshold=0.5),
+            on_transition=seen.append,
+        )
+        breaker.allow()
+        breaker.record(False)
+        assert len(seen) == 1
+        assert seen[0]["to"] == "open"

@@ -230,3 +230,17 @@ class TestBrokerAccounting:
         mixed = TraceConfig(n_requests=200, mixed_resolutions=True, seed=4)
         resolutions = {s.resolution for s in generate_trace(["a"], mixed)}
         assert len(resolutions) > 1
+
+    def test_trace_config_dict_round_trip(self):
+        config = TraceConfig(n_requests=30, arrival_rate=3.5, seed=8)
+        assert TraceConfig.from_dict(config.to_dict()) == config
+
+    def test_trace_config_from_dict_rejects_malformed(self):
+        with pytest.raises(ValueError, match="mapping"):
+            TraceConfig.from_dict([1, 2])
+        with pytest.raises(ValueError, match="unknown trace config key"):
+            TraceConfig.from_dict({"n_requests": 5, "rate": 2.0})
+        with pytest.raises(ValueError, match="arrival_rate"):
+            TraceConfig.from_dict({"arrival_rate": "fast"})
+        with pytest.raises(ValueError, match="n_requests"):
+            TraceConfig.from_dict({"n_requests": True})

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.bench import make_benchmark
-from repro.games import Resolution, build_catalog
+from repro.games import Resolution
 from repro.hardware.resources import Resource
 from repro.hardware.server import ServerSpec
 from repro.simulator import BenchmarkInstance, ColocationEngine, GameInstance

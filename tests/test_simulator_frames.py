@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.games import Resolution, build_catalog
+from repro.games import Resolution
 from repro.simulator.frames import (
     fps_from_frame_times,
     scene_complexity,

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.utils.serialization import dump_json, load_json, to_jsonable
+from repro.utils.serialization import (
+    SerializationError,
+    dump_json,
+    load_json,
+    to_jsonable,
+)
 
 
 class TestToJsonable:
@@ -41,3 +46,20 @@ class TestDumpLoad:
         path = tmp_path / "a" / "b" / "c.json"
         dump_json([1], path)
         assert path.exists()
+
+    def test_truncated_file_names_path(self, tmp_path):
+        path = tmp_path / "truncated.json"
+        path.write_text('{"profiles": [1, 2')  # cut mid-stream
+        with pytest.raises(SerializationError, match="truncated.json"):
+            load_json(path)
+
+    def test_corrupt_file_is_a_value_error(self, tmp_path):
+        # Callers with existing `except ValueError` handling keep working.
+        path = tmp_path / "garbage.json"
+        path.write_text("not json at all")
+        with pytest.raises(ValueError, match="garbage.json"):
+            load_json(path)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_json(tmp_path / "absent.json")
