@@ -41,3 +41,18 @@ def emit(name: str, text: str) -> None:
     out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "bench_results"))
     out_dir.mkdir(parents=True, exist_ok=True)
     (out_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable benchmark result.
+
+    Written as ``bench_results/{name}.json``.  Payloads that include a
+    ``telemetry`` snapshot are directly consumable by ``repro metrics
+    summary``/``diff``, which is how the CI regression guard compares a
+    run against the committed baseline in ``benchmarks/baselines/``.
+    """
+    import json
+
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "bench_results"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / f"{name}.json").write_text(json.dumps(payload, indent=2) + "\n")

@@ -10,7 +10,7 @@ loop and not just the figure pipelines.
 
 import time
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 
 from repro.scheduling.dynamic import generate_sessions
 from repro.serving import (
@@ -66,6 +66,21 @@ def test_serving_throughput_cold_vs_warm(lab, benchmark):
                 f"{'warm':8s} {warm_rate:12.0f} {warm_cache.hit_rate:9.2%}",
             ]
         ),
+    )
+    # Machine-readable twin of the table above: consumed by the CI
+    # regression guard via `repro metrics diff` against the committed
+    # baseline in benchmarks/baselines/BENCH_serving.json.
+    emit_json(
+        "BENCH_serving",
+        {
+            "bench": "serving_throughput",
+            "n_requests": N_REQUESTS,
+            "cold_decisions_per_s": round(cold_rate, 1),
+            "warm_decisions_per_s": round(warm_rate, 1),
+            "cold_hit_rate": round(cold_cache.hit_rate, 4),
+            "warm_hit_rate": round(warm_cache.hit_rate, 4),
+            "telemetry": warm_report.telemetry,
+        },
     )
     # The warm path must at least keep dispatch-rate viability.
     assert warm_rate > 50

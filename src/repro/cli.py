@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Wraps the library's offline/online workflow in six subcommands::
+Wraps the library's offline/online workflow in seven subcommands::
 
     python -m repro catalog  [--genre moba-esports]
     python -m repro profile  --games "Dota2,H1Z1" --out db.json
@@ -8,13 +8,20 @@ Wraps the library's offline/online workflow in six subcommands::
     python -m repro predict  --predictor predictor.json \\
                              --colocation "Dota2@1920x1080,H1Z1@1280x720" --qos 60
     python -m repro serve    --predictor predictor.json --requests 500 \\
-                             --policy cm-feasible
+                             --policy cm-feasible [--trace-out trace.json]
+    python -m repro metrics  summary|diff|merge|export ...
     python -m repro experiments [--extensions] [--out results.md]
 
 Colocations are written ``Game@WxH`` entries joined with commas; the
 resolution suffix is optional and defaults to 1080p.  ``serve`` replays a
 synthetic arrival trace through the online serving broker and emits the
-telemetry snapshot (JSON) — see :mod:`repro.serving`.
+telemetry snapshot (JSON) — see :mod:`repro.serving`; ``--trace-out``
+additionally records a per-request span trace (Chrome trace-event JSON
+by default, Perfetto-loadable).  ``metrics`` post-processes snapshot and
+trace files: human summaries, run-to-run regression diffs with
+``--fail-on`` thresholds, bucket-wise snapshot merging, and exports to
+Prometheus text exposition or Chrome trace format — see
+:mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -137,6 +144,7 @@ def _cmd_predict(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro.obs import Tracer
     from repro.serving import (
         AdmissionController,
         BreakerConfig,
@@ -180,17 +188,25 @@ def _cmd_serve(args) -> int:
         if args.decision_deadline_ms is not None
         else None
     )
+    tracer = Tracer(enabled=args.trace_out is not None)
     controller = AdmissionController(
         policy,
         fallback=fallback,
         telemetry=telemetry,
         breaker=BreakerConfig(failure_threshold=args.breaker_threshold),
         decision_deadline_s=deadline_s,
+        tracer=tracer,
     )
     broker = RequestBroker(
         controller, crash_rate=args.crash_rate, crash_seed=args.trace_seed
     )
     report = broker.run(sessions)
+    if args.trace_out:
+        if args.trace_format == "chrome":
+            tracer.export_chrome_trace(args.trace_out)
+        else:
+            tracer.export_jsonl(args.trace_out)
+        print(f"wrote {args.trace_out} ({tracer.n_traces} request traces)")
     payload = report.to_dict()
     payload["config"] = {
         "policy": args.policy,
@@ -210,6 +226,87 @@ def _cmd_serve(args) -> int:
         print(f"wrote {args.out}")
     else:
         print(text)
+    return 0
+
+
+def _write_or_print(text: str, out: str | None) -> None:
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {out}")
+    else:
+        print(text)
+
+
+def _cmd_metrics_summary(args) -> int:
+    from repro.obs import load_snapshot, summarize_snapshot
+
+    for path in args.files:
+        snapshot = load_snapshot(path)
+        title = path if len(args.files) > 1 else ""
+        print(summarize_snapshot(snapshot, title=title))
+    return 0
+
+
+def _cmd_metrics_diff(args) -> int:
+    from repro.obs import (
+        check_regressions,
+        diff_snapshots,
+        load_snapshot,
+        parse_fail_spec,
+        render_diff,
+    )
+
+    specs = [parse_fail_spec(s) for s in args.fail_on]
+    rows = diff_snapshots(load_snapshot(args.old), load_snapshot(args.new))
+    print(render_diff(rows, only_changed=not args.all))
+    breaches = check_regressions(rows, specs)
+    for breach in breaches:
+        print(
+            f"REGRESSION {breach['metric']}.{breach['stat']}: "
+            f"{breach['old']:g} -> {breach['new']:g} "
+            f"(breaches {breach['spec']})",
+            file=sys.stderr,
+        )
+    return 3 if breaches else 0
+
+
+def _cmd_metrics_merge(args) -> int:
+    from repro.obs import load_snapshot, merge_snapshots
+
+    if len(args.files) < 2:
+        raise ValueError("merge needs at least two snapshot files")
+    merged = load_snapshot(args.files[0])
+    for path in args.files[1:]:
+        merged = merge_snapshots(merged, load_snapshot(path))
+    _write_or_print(json.dumps(merged, indent=2), args.out)
+    return 0
+
+
+def _cmd_metrics_export(args) -> int:
+    from repro.obs import load_snapshot, snapshot_to_prometheus, spans_to_chrome
+
+    if args.format == "prometheus":
+        _write_or_print(snapshot_to_prometheus(load_snapshot(args.file)), args.out)
+        return 0
+    # chrome-trace: the input is a JSONL span trace (one span per line).
+    spans = []
+    with open(args.file) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            try:
+                spans.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{args.file}:{lineno}: not a JSONL span trace ({exc})"
+                ) from exc
+    if any(not isinstance(s, dict) or "span_id" not in s for s in spans):
+        raise ValueError(
+            f"{args.file}: not a span trace (expected objects with 'span_id'; "
+            "was this written by repro serve --trace-format jsonl?)"
+        )
+    _write_or_print(json.dumps(spans_to_chrome(spans), indent=1), args.out)
     return 0
 
 
@@ -309,7 +406,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="failure fraction over the breaker window that trips DEGRADED mode",
     )
     p.add_argument("--out", help="write the JSON report here instead of stdout")
+    p.add_argument(
+        "--trace-out",
+        help="record per-request spans and write the trace file here",
+    )
+    p.add_argument(
+        "--trace-format",
+        choices=["chrome", "jsonl"],
+        default="chrome",
+        help="trace file format: Chrome trace-event JSON (Perfetto-loadable) "
+        "or one span per JSONL line",
+    )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "metrics", help="summarize, diff, merge and export snapshot/trace files"
+    )
+    msub = p.add_subparsers(dest="metrics_command", required=True)
+
+    m = msub.add_parser("summary", help="human-readable snapshot summary")
+    m.add_argument("files", nargs="+", help="snapshot/report JSON files")
+    m.set_defaults(fn=_cmd_metrics_summary)
+
+    m = msub.add_parser("diff", help="compare two runs, gate on regressions")
+    m.add_argument("old", help="baseline snapshot/report JSON")
+    m.add_argument("new", help="candidate snapshot/report JSON")
+    m.add_argument(
+        "--fail-on",
+        action="append",
+        default=[],
+        metavar="[metric.]stat:+N%",
+        help="exit nonzero when the stat grew by more than N%% "
+        "(e.g. p99_s:+20%%; repeatable)",
+    )
+    m.add_argument(
+        "--all", action="store_true", help="show unchanged metrics too"
+    )
+    m.set_defaults(fn=_cmd_metrics_diff)
+
+    m = msub.add_parser("merge", help="combine snapshots bucket-wise")
+    m.add_argument("files", nargs="+", help="snapshot/report JSON files")
+    m.add_argument("--out", help="write merged snapshot here instead of stdout")
+    m.set_defaults(fn=_cmd_metrics_merge)
+
+    m = msub.add_parser("export", help="convert to exporter formats")
+    m.add_argument("file", help="snapshot/report JSON, or a JSONL span trace")
+    m.add_argument(
+        "--format",
+        required=True,
+        choices=["prometheus", "chrome-trace"],
+        help="prometheus text exposition (from a snapshot) or Chrome "
+        "trace-event JSON (from a JSONL span trace)",
+    )
+    m.add_argument("--out", help="write here instead of stdout")
+    m.set_defaults(fn=_cmd_metrics_export)
 
     p = sub.add_parser("experiments", help="run the evaluation harness")
     p.add_argument("--extensions", action="store_true", help="include extensions")

@@ -15,6 +15,7 @@ per request-arrival cheap (the serving hot path of
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 import numpy as np
@@ -23,6 +24,7 @@ from repro.core.classification import GAugurClassifier
 from repro.core.features import cm_feature_vector, rm_feature_vector
 from repro.core.regression import GAugurRegressor
 from repro.core.training import ColocationSpec
+from repro.obs.tracing import NOOP_TRACER
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid the core <-> profiling import cycle
@@ -63,6 +65,29 @@ class InterferencePredictor:
         self.db = db
         self.classifier = classifier
         self.regressor = regressor
+        self.telemetry = None
+        self.tracer = NOOP_TRACER
+
+    def instrument(self, telemetry=None, tracer=None) -> "InterferencePredictor":
+        """Attach observability sinks (both optional, chainable).
+
+        ``telemetry`` (a :class:`repro.serving.Telemetry`) receives the
+        per-stage profiling histograms — feature assembly vs. model
+        evaluation — that the batch prediction paths record; ``tracer``
+        (a :class:`repro.obs.Tracer`) receives matching nested spans.
+        Un-instrumented predictors skip both with near-zero overhead.
+        """
+        if telemetry is not None:
+            self.telemetry = telemetry
+        if tracer is not None:
+            self.tracer = tracer
+        return self
+
+    def _observe_stage(self, stage: str, model: str, seconds: float) -> None:
+        """Record one profiling stage into the attached telemetry."""
+        if self.telemetry is not None:
+            self.telemetry.histogram(f"predict_{stage}_s").observe(seconds)
+            self.telemetry.counter("predict_stage_calls", stage=stage, model=model).inc()
 
     # ------------------------------------------------------------------
 
@@ -142,16 +167,24 @@ class InterferencePredictor:
             raise RuntimeError("no regression model attached")
         out: list[np.ndarray] = [np.ones(spec.size, dtype=float) for spec in specs]
         rows, slots = [], []
-        for si, spec in enumerate(specs):
-            if spec.size < 2:
-                continue
-            profiles, intensities, _ = self._inputs(spec)
-            for i in range(spec.size):
-                co = [intensities[j] for j in range(spec.size) if j != i]
-                rows.append(rm_feature_vector(profiles[i].sensitivity_vector(), co))
-                slots.append((si, i))
+        start = time.perf_counter()
+        with self.tracer.span("featurize", model="rm", specs=len(specs)):
+            for si, spec in enumerate(specs):
+                if spec.size < 2:
+                    continue
+                profiles, intensities, _ = self._inputs(spec)
+                for i in range(spec.size):
+                    co = [intensities[j] for j in range(spec.size) if j != i]
+                    rows.append(
+                        rm_feature_vector(profiles[i].sensitivity_vector(), co)
+                    )
+                    slots.append((si, i))
+        self._observe_stage("featurize", "rm", time.perf_counter() - start)
         if rows:
-            predictions = self.regressor.predict_from_features(np.vstack(rows))
+            start = time.perf_counter()
+            with self.tracer.span("model_eval", model="rm", rows=len(rows)):
+                predictions = self.regressor.predict_from_features(np.vstack(rows))
+            self._observe_stage("model_eval", "rm", time.perf_counter() - start)
             for (si, i), value in zip(slots, predictions):
                 out[si][i] = value
         return out
@@ -172,22 +205,28 @@ class InterferencePredictor:
             raise RuntimeError("no classification model attached")
         out: list[np.ndarray] = []
         rows, slots = [], []
-        for si, spec in enumerate(specs):
-            profiles, intensities, solo = self._inputs(spec)
-            if spec.size < 2:
-                out.append(np.asarray([fps >= qos for fps in solo], dtype=bool))
-                continue
-            out.append(np.zeros(spec.size, dtype=bool))
-            for i in range(spec.size):
-                co = [intensities[j] for j in range(spec.size) if j != i]
-                rows.append(
-                    cm_feature_vector(
-                        qos, solo[i], profiles[i].sensitivity_vector(), co
+        start = time.perf_counter()
+        with self.tracer.span("featurize", model="cm", specs=len(specs)):
+            for si, spec in enumerate(specs):
+                profiles, intensities, solo = self._inputs(spec)
+                if spec.size < 2:
+                    out.append(np.asarray([fps >= qos for fps in solo], dtype=bool))
+                    continue
+                out.append(np.zeros(spec.size, dtype=bool))
+                for i in range(spec.size):
+                    co = [intensities[j] for j in range(spec.size) if j != i]
+                    rows.append(
+                        cm_feature_vector(
+                            qos, solo[i], profiles[i].sensitivity_vector(), co
+                        )
                     )
-                )
-                slots.append((si, i))
+                    slots.append((si, i))
+        self._observe_stage("featurize", "cm", time.perf_counter() - start)
         if rows:
-            verdicts = self.classifier.predict_from_features(np.vstack(rows))
+            start = time.perf_counter()
+            with self.tracer.span("model_eval", model="cm", rows=len(rows)):
+                verdicts = self.classifier.predict_from_features(np.vstack(rows))
+            self._observe_stage("model_eval", "cm", time.perf_counter() - start)
             for (si, i), verdict in zip(slots, verdicts):
                 out[si][i] = bool(verdict)
         return out
@@ -211,18 +250,29 @@ class InterferencePredictor:
         when a classifier is attached and ``qos`` is given).  Values equal
         the corresponding single-spec calls exactly, but the whole batch
         costs one model invocation per attached model.
+
+        When instrumented (:meth:`instrument`), the whole call is timed
+        into ``predict_batch_s`` and the featurize/model-eval stages into
+        ``predict_featurize_s`` / ``predict_model_eval_s``, giving the
+        per-decision latency attribution the serving layer reports.
         """
-        results: list[dict] = [{} for _ in specs]
-        if self.regressor is not None:
-            degradations = self.predict_degradations_batch(specs)
-            for spec, result, deg in zip(specs, results, degradations):
-                result["degradations"] = deg
-                result["fps"] = deg * np.asarray(self._inputs(spec)[2])
-        if self.classifier is not None and qos is not None:
-            for result, verdicts in zip(
-                results, self.predict_feasible_batch(specs, qos)
-            ):
-                result["feasible"] = verdicts
+        start = time.perf_counter()
+        with self.tracer.span("predict_batch", specs=len(specs)):
+            results: list[dict] = [{} for _ in specs]
+            if self.regressor is not None:
+                degradations = self.predict_degradations_batch(specs)
+                for spec, result, deg in zip(specs, results, degradations):
+                    result["degradations"] = deg
+                    result["fps"] = deg * np.asarray(self._inputs(spec)[2])
+            if self.classifier is not None and qos is not None:
+                for result, verdicts in zip(
+                    results, self.predict_feasible_batch(specs, qos)
+                ):
+                    result["feasible"] = verdicts
+        if self.telemetry is not None:
+            self.telemetry.histogram("predict_batch_s").observe(
+                time.perf_counter() - start
+            )
         return results
 
     # ------------------------------------------------------------------

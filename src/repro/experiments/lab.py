@@ -40,6 +40,7 @@ from repro.games import GameCatalog, Resolution, build_catalog
 from repro.games.catalog import DEFAULT_CATALOG_SEED, REPRESENTATIVE_GAMES
 from repro.hardware.server import DEFAULT_SERVER, ServerSpec
 from repro.profiling import ContentionProfiler, ProfileDatabase, ProfilerConfig
+from repro.serving.telemetry import Telemetry
 from repro.utils.rng import spawn_rng
 from repro.utils.serialization import dump_json, load_json
 
@@ -127,6 +128,11 @@ class Lab:
     def __init__(self, config: LabConfig | None = None, server: ServerSpec = DEFAULT_SERVER):
         self.config = config if config is not None else LabConfig.from_env()
         self.server = server
+        #: Build-phase profiling: every expensive artifact construction is
+        #: timed into one Telemetry instance (``lab_*_s`` histograms), so
+        #: ``repro metrics`` can attribute setup cost the same way the
+        #: serving layer attributes decision cost.
+        self.telemetry = Telemetry()
 
     # ------------------------------------------------------------------
     # Offline artifacts
@@ -174,8 +180,11 @@ class Lab:
             db = ProfileDatabase.load(path)
             if set(db.names()) >= set(self.names):
                 return db.subset(self.names)
-        profiler = ContentionProfiler(server=self.server, config=self.profiler_config)
-        db = profiler.profile_catalog([self.catalog.get(n) for n in self.names])
+        with self.telemetry.time("lab_profile_db_s"):
+            profiler = ContentionProfiler(
+                server=self.server, config=self.profiler_config
+            )
+            db = profiler.profile_catalog([self.catalog.get(n) for n in self.names])
         db.save(path)
         return db
 
@@ -192,7 +201,10 @@ class Lab:
         path = _cache_dir() / f"measured-{self.config.cache_key()}.json"
         if path.exists():
             return _measured_from_jsonable(load_json(path))
-        measured = measure_colocations(self.catalog, self.colocations, server=self.server)
+        with self.telemetry.time("lab_measure_campaign_s"):
+            measured = measure_colocations(
+                self.catalog, self.colocations, server=self.server
+            )
         dump_json(_measured_to_jsonable(measured), path)
         return measured
 
@@ -245,7 +257,8 @@ class Lab:
     def rm_model(self) -> GAugurRegressor:
         """GAugur(RM): the paper's GBRT trained on the full training pool."""
         _, _, rm_tr, _ = self.split(60.0)
-        return GAugurRegressor().fit(rm_tr)
+        with self.telemetry.time("lab_train_s", model="rm"):
+            return GAugurRegressor().fit(rm_tr)
 
     def _augmented_cm_train(self, qos: float) -> SampleSet:
         """CM training samples labelled at a spread of floors around ``qos``.
@@ -263,7 +276,8 @@ class Lab:
     @cached_property
     def cm_model(self) -> GAugurClassifier:
         """GAugur(CM) at QoS 60 FPS (QoS-augmented training)."""
-        return GAugurClassifier().fit(self._augmented_cm_train(60.0))
+        with self.telemetry.time("lab_train_s", model="cm"):
+            return GAugurClassifier().fit(self._augmented_cm_train(60.0))
 
     def cm_model_at(self, qos: float) -> GAugurClassifier:
         """GAugur(CM) trained for an arbitrary QoS floor."""

@@ -1,0 +1,47 @@
+"""Observability: request tracing, snapshot tooling, metric exporters.
+
+The serving stack answers *what happened in aggregate* through
+:class:`repro.serving.Telemetry`; this package answers *what happened to
+this one request* and *how do two runs compare*:
+
+* :class:`Tracer` / :class:`Span` — dependency-free nested span tracing
+  with deterministic ids, an injectable clock (:class:`TickClock`), and
+  exporters to JSONL and Chrome trace-event JSON (Perfetto-loadable);
+* snapshot tools — load/summarize/merge/diff telemetry snapshots and
+  render the Prometheus text exposition, powering the ``repro metrics``
+  CLI subcommand;
+* :func:`validate_prometheus` — a tiny exposition-format checker used in
+  tests and CI so exporter output stays parseable.
+"""
+
+from repro.obs.snapshots import (
+    FailSpec,
+    check_regressions,
+    diff_snapshots,
+    load_snapshot,
+    merge_snapshots,
+    parse_fail_spec,
+    render_diff,
+    snapshot_to_prometheus,
+    summarize_snapshot,
+    validate_prometheus,
+)
+from repro.obs.tracing import NOOP_TRACER, Span, TickClock, Tracer, spans_to_chrome
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TickClock",
+    "NOOP_TRACER",
+    "spans_to_chrome",
+    "load_snapshot",
+    "summarize_snapshot",
+    "merge_snapshots",
+    "diff_snapshots",
+    "render_diff",
+    "FailSpec",
+    "parse_fail_spec",
+    "check_regressions",
+    "snapshot_to_prometheus",
+    "validate_prometheus",
+]

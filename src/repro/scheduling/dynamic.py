@@ -15,6 +15,7 @@ server composition is measured once (memoized by signature).
 from __future__ import annotations
 
 import heapq
+import time as _time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -211,11 +212,19 @@ def simulate_sessions(
     qos: float = 60.0,
     server: ServerSpec = DEFAULT_SERVER,
     config: MeasurementConfig | None = None,
+    telemetry=None,
 ) -> DynamicMetrics:
     """Event-driven simulation of a placement policy over a session trace.
 
     Violation time is charged per session for every interval during which
     the *measured* frame rate of its server's composition is below ``qos``.
+
+    ``telemetry`` (a :class:`repro.serving.Telemetry`, duck-typed) makes
+    the simulator self-profiling: each arrival's full round is timed into
+    the ``sim_round_s`` histogram and the policy decision alone into
+    ``sim_decision_s``, with ``sim_arrivals``/``sim_measurements``
+    counters — the same instruments the online broker records, so offline
+    and serving runs are comparable in ``repro metrics diff``.
     """
     sessions = sorted(sessions, key=lambda s: s.arrival)
     fps_cache: dict[Signature, tuple[float, ...]] = {}
@@ -226,6 +235,8 @@ def simulate_sessions(
                 ColocationSpec(sig).instances(catalog), server=server, config=config
             )
             fps_cache[sig] = result.fps
+            if telemetry is not None:
+                telemetry.counter("sim_measurements").inc()
         return fps_cache[sig]
 
     servers: dict[int, list[Session]] = {}
@@ -264,11 +275,20 @@ def simulate_sessions(
                 del servers[server_id]
 
     for session in sessions:
+        round_start = _time.perf_counter()
         pop_departures(session.arrival)
         accrue(session.arrival)
         sigs = [signature(m) for m in servers.values()]
         ids = list(servers.keys())
-        choice = policy(sigs, session)
+        if telemetry is not None:
+            decision_start = _time.perf_counter()
+            choice = policy(sigs, session)
+            telemetry.histogram("sim_decision_s").observe(
+                _time.perf_counter() - decision_start
+            )
+            telemetry.counter("sim_arrivals").inc()
+        else:
+            choice = policy(sigs, session)
         if choice is None:
             server_id = next_server_id
             next_server_id += 1
@@ -283,6 +303,10 @@ def simulate_sessions(
         )
         seq += 1
         peak = max(peak, len(servers))
+        if telemetry is not None:
+            telemetry.histogram("sim_round_s").observe(
+                _time.perf_counter() - round_start
+            )
 
     end = max(s.arrival + s.duration for s in sessions)
     pop_departures(end)

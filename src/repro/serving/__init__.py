@@ -44,8 +44,11 @@ from repro.serving.policies import (
 from repro.serving.telemetry import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
+    Gauge,
     LatencyHistogram,
     Telemetry,
+    merge_snapshots,
+    snapshot_to_prometheus,
 )
 
 __all__ = [
@@ -77,7 +80,10 @@ __all__ = [
     "build_policy",
     "POLICY_NAMES",
     "Counter",
+    "Gauge",
     "LatencyHistogram",
     "Telemetry",
+    "merge_snapshots",
+    "snapshot_to_prometheus",
     "DEFAULT_LATENCY_BUCKETS",
 ]

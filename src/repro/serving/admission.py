@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.obs.tracing import NOOP_TRACER, Tracer
 from repro.serving.breaker import BreakerConfig, BreakerState, CircuitBreaker
 from repro.serving.policies import AdmissionPolicy, Signature
 from repro.serving.telemetry import Telemetry
@@ -80,12 +81,14 @@ class AdmissionController:
         telemetry: Telemetry | None = None,
         breaker: BreakerConfig | None = None,
         decision_deadline_s: float | None = None,
+        tracer: Tracer | None = None,
     ):
         if decision_deadline_s is not None and decision_deadline_s <= 0:
             raise ValueError("decision_deadline_s must be positive")
         self.policy = policy
         self.fallback = fallback
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.decision_deadline_s = decision_deadline_s
         self.mode = Mode.NORMAL
         self.mode_transitions: list[dict] = []
@@ -101,10 +104,25 @@ class AdmissionController:
                     name="fallback",
                     on_transition=self._breaker_event("fallback"),
                 )
+        self._instrument_members()
+
+    def _instrument_members(self) -> None:
+        # Flow the shared telemetry/tracer into the policies (and through
+        # them into the predictor) so one request yields one trace.
+        for member in (self.policy, self.fallback):
+            instrument = getattr(member, "instrument", None)
+            if callable(instrument):
+                instrument(telemetry=self.telemetry, tracer=self.tracer)
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Swap the tracer, re-instrumenting policies and predictor."""
+        self.tracer = tracer
+        self._instrument_members()
 
     def _breaker_event(self, which: str):
         def emit(change: dict) -> None:
             self.telemetry.event("breaker_transition", breaker=which, **change)
+            self.tracer.instant("breaker_transition", breaker=which, **change)
 
         return emit
 
@@ -116,8 +134,12 @@ class AdmissionController:
     ) -> tuple[bool, int | None]:
         """Run one policy, validating its answer.  Returns (ok, choice)."""
         error_counter = "fallback_errors" if is_fallback else "policy_errors"
+        span = self.tracer.span(
+            "policy", policy=policy.name, fallback=is_fallback
+        )
         try:
-            choice = policy.select(signatures, session)
+            with span:
+                choice = policy.select(signatures, session)
         except Exception:
             self.telemetry.counter(error_counter).inc()
             return False, None
@@ -146,57 +168,70 @@ class AdmissionController:
         """
         t = self.telemetry
         t.counter("requests").inc()
-        start = time.perf_counter()
-        choice: int | None = None
-        policy_used = "dedicated"
-        used_fallback = False
-        primary_ok: bool | None = None  # None = primary not consulted
-        fallback_ok: bool | None = None
-
-        primary_allowed = (
-            self._primary_breaker.allow() if self._primary_breaker else True
+        span = self.tracer.span(
+            "admission",
+            game=getattr(session, "game", None),
+            candidates=len(signatures),
         )
-        if primary_allowed:
-            primary_ok, choice = self._attempt(
-                self.policy, signatures, session, is_fallback=False
-            )
-            if primary_ok:
-                policy_used = self.policy.name
-        else:
-            t.counter("degraded_decisions").inc()
+        with span:
+            start = time.perf_counter()
+            choice: int | None = None
+            policy_used = "dedicated"
+            used_fallback = False
+            primary_ok: bool | None = None  # None = primary not consulted
+            fallback_ok: bool | None = None
 
-        if not (primary_allowed and primary_ok):
-            used_fallback = True
-            t.counter("fallbacks").inc()
-            choice = None
-            fallback_allowed = self.fallback is not None and (
-                self._fallback_breaker.allow() if self._fallback_breaker else True
+            primary_allowed = (
+                self._primary_breaker.allow() if self._primary_breaker else True
             )
-            if fallback_allowed:
-                fallback_ok, choice = self._attempt(
-                    self.fallback, signatures, session, is_fallback=True
+            if primary_allowed:
+                primary_ok, choice = self._attempt(
+                    self.policy, signatures, session, is_fallback=False
                 )
-                if fallback_ok:
-                    policy_used = self.fallback.name
-                else:
-                    choice = None
-            elif self.fallback is not None:
-                t.counter("conservative_decisions").inc()
+                if primary_ok:
+                    policy_used = self.policy.name
+            else:
+                t.counter("degraded_decisions").inc()
 
-        elapsed = time.perf_counter() - start
-        overrun = (
-            self.decision_deadline_s is not None
-            and elapsed > self.decision_deadline_s
-        )
-        if overrun:
-            t.counter("deadline_overruns").inc()
-        if self._primary_breaker is not None and primary_ok is not None:
-            self._primary_breaker.record(primary_ok and not overrun)
-        if self._fallback_breaker is not None and fallback_ok is not None:
-            self._fallback_breaker.record(fallback_ok and not overrun)
-        t.histogram("decision_latency_s").observe(elapsed)
-        t.counter("admissions" if choice is not None else "servers_opened").inc()
-        self._update_mode()
+            if not (primary_allowed and primary_ok):
+                used_fallback = True
+                t.counter("fallbacks").inc()
+                choice = None
+                fallback_allowed = self.fallback is not None and (
+                    self._fallback_breaker.allow() if self._fallback_breaker else True
+                )
+                if fallback_allowed:
+                    fallback_ok, choice = self._attempt(
+                        self.fallback, signatures, session, is_fallback=True
+                    )
+                    if fallback_ok:
+                        policy_used = self.fallback.name
+                    else:
+                        choice = None
+                elif self.fallback is not None:
+                    t.counter("conservative_decisions").inc()
+
+            elapsed = time.perf_counter() - start
+            overrun = (
+                self.decision_deadline_s is not None
+                and elapsed > self.decision_deadline_s
+            )
+            if overrun:
+                t.counter("deadline_overruns").inc()
+            if self._primary_breaker is not None and primary_ok is not None:
+                self._primary_breaker.record(primary_ok and not overrun)
+            if self._fallback_breaker is not None and fallback_ok is not None:
+                self._fallback_breaker.record(fallback_ok and not overrun)
+            t.histogram("decision_latency_s").observe(elapsed)
+            t.counter("admissions" if choice is not None else "servers_opened").inc()
+            self._update_mode()
+            t.counter("decisions", policy=policy_used, mode=self.mode.value).inc()
+            span.set(
+                policy=policy_used,
+                fallback=used_fallback,
+                choice=choice,
+                mode=self.mode.value,
+            )
         return AdmissionDecision(
             server=choice, policy=policy_used, fallback=used_fallback
         )
@@ -226,7 +261,11 @@ class AdmissionController:
             self.mode_transitions.append(change)
             self.telemetry.counter("mode_transitions").inc()
             self.telemetry.event("mode_transition", **change)
+            self.tracer.instant("mode_transition", **change)
             self.mode = mode
+        self.telemetry.gauge("mode_level").set(
+            {"normal": 0, "degraded": 1, "conservative": 2}[mode.value]
+        )
 
     def resilience_snapshot(self) -> dict:
         """JSON-able resilience state: mode, transitions, breakers, budget."""

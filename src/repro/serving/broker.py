@@ -27,6 +27,7 @@ import heapq
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro.obs.tracing import Tracer
 from repro.scheduling.dynamic import Session
 from repro.serving.admission import AdmissionController
 from repro.serving.policies import Signature
@@ -119,12 +120,19 @@ class RequestBroker:
         *,
         crash_rate: float = 0.0,
         crash_seed: int = 0,
+        tracer: Tracer | None = None,
     ):
         if not 0.0 <= crash_rate <= 1.0:
             raise ValueError(f"crash_rate must be in [0, 1], got {crash_rate}")
         self.controller = controller
         self.crash_rate = float(crash_rate)
         self.crash_seed = int(crash_seed)
+        # One `tracer=` argument in either place instruments the whole
+        # request path: an explicit tracer here is pushed down into the
+        # controller (and through it, the policies and predictor).
+        if tracer is not None:
+            controller.set_tracer(tracer)
+        self.tracer = controller.tracer
 
     def run(self, sessions: Sequence[Session]) -> ServingReport:
         """Replay ``sessions`` (sorted by arrival) through the controller.
@@ -171,23 +179,28 @@ class RequestBroker:
 
         def admit(session: Session, index: int, readmitted: bool) -> PlacementRecord:
             nonlocal next_server_id, seq, peak
-            sigs = [signature(m) for m in servers.values()]
-            ids = list(servers.keys())
-            decision = self.controller.decide(sigs, session)
-            if decision.server is None:
-                server_id = next_server_id
-                next_server_id += 1
-                servers[server_id] = [session]
-            else:
-                server_id = ids[decision.server]
-                servers[server_id].append(session)
-                # Keep departure order: earliest-ending session leaves first.
-                servers[server_id].sort(key=lambda s: s.arrival + s.duration)
-            heapq.heappush(
-                departures, (session.arrival + session.duration, seq, server_id)
-            )
-            seq += 1
-            peak = max(peak, len(servers))
+            with self.tracer.span(
+                "request", index=index, game=session.game, readmitted=readmitted
+            ) as span:
+                sigs = [signature(m) for m in servers.values()]
+                ids = list(servers.keys())
+                decision = self.controller.decide(sigs, session)
+                if decision.server is None:
+                    server_id = next_server_id
+                    next_server_id += 1
+                    servers[server_id] = [session]
+                else:
+                    server_id = ids[decision.server]
+                    servers[server_id].append(session)
+                    # Keep departure order: earliest-ending session leaves first.
+                    servers[server_id].sort(key=lambda s: s.arrival + s.duration)
+                heapq.heappush(
+                    departures, (session.arrival + session.duration, seq, server_id)
+                )
+                seq += 1
+                peak = max(peak, len(servers))
+                telemetry.gauge("open_servers").set(len(servers))
+                span.set(server_id=server_id, policy=decision.policy)
             return PlacementRecord(
                 index=index,
                 game=session.game,
@@ -213,6 +226,9 @@ class RequestBroker:
                 arrival_index=index,
                 server_id=victim,
                 evicted=len(evicted),
+            )
+            self.tracer.instant(
+                "server_crash", server_id=victim, evicted=len(evicted)
             )
             # Evicted sessions re-enter the admission queue immediately,
             # earliest-departing first (the order they were hosted in).

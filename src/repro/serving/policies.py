@@ -26,6 +26,7 @@ from repro.baselines.vbp import VBPJudge
 from repro.core.training import ColocationSpec
 from repro.games.resolution import Resolution
 from repro.hardware.server import DEFAULT_SERVER, ServerSpec
+from repro.obs.tracing import NOOP_TRACER
 from repro.serving.cache import PredictionCache, colocation_key
 
 __all__ = [
@@ -74,7 +75,35 @@ def _candidates(
     ]
 
 
-class CMFeasiblePolicy:
+class _InstrumentedPolicy:
+    """Shared observability plumbing for the prediction-guided policies.
+
+    The admission controller calls :meth:`instrument` once at
+    construction; the tracer/telemetry sinks then flow down into the
+    wrapped predictor so cache lookups, feature assembly and model
+    evaluation all land in the same per-request trace.
+    """
+
+    predictor = None
+    telemetry = None
+    tracer = NOOP_TRACER
+
+    def instrument(self, telemetry=None, tracer=None) -> None:
+        """Attach telemetry/tracer sinks, forwarding to the predictor."""
+        if telemetry is not None:
+            self.telemetry = telemetry
+        if tracer is not None:
+            self.tracer = tracer
+        forward = getattr(self.predictor, "instrument", None)
+        if callable(forward):
+            forward(telemetry=telemetry, tracer=tracer)
+
+    def _count(self, name: str, **labels) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter(name, **labels).inc()
+
+
+class CMFeasiblePolicy(_InstrumentedPolicy):
     """CM-guided packing: fullest feasible server wins (paper Section 5.1).
 
     Mirrors :func:`repro.scheduling.dynamic.cm_feasible_policy` exactly,
@@ -105,29 +134,34 @@ class CMFeasiblePolicy:
         floor = self.qos * self.margin
         verdicts: dict[Signature, bool] = {}
         unknown: list[Signature] = []
-        for sig in candidate_sigs:
-            if sig in verdicts or sig in unknown:
-                continue
-            hit = self.cache.lookup(colocation_key(sig, floor), None)
-            if hit is not None:
-                verdicts[sig] = hit
+        with self.tracer.span("cache", policy=self.name) as span:
+            for sig in candidate_sigs:
+                if sig in verdicts or sig in unknown:
+                    continue
+                hit = self.cache.lookup(colocation_key(sig, floor), None)
+                if hit is not None:
+                    verdicts[sig] = hit
+                else:
+                    unknown.append(sig)
+            span.set(hits=len(verdicts), misses=len(unknown))
+        with self.tracer.span(
+            "predict", policy=self.name, batched=len(unknown), cached=not unknown
+        ):
+            if unknown:
+                feasible = self.predictor.colocations_feasible(
+                    [ColocationSpec(sig) for sig in unknown], floor
+                )
+                for sig, verdict in zip(unknown, feasible):
+                    verdict = bool(verdict)
+                    verdicts[sig] = verdict
+                    self.cache.put(colocation_key(sig, floor), verdict)
             else:
-                unknown.append(sig)
-        if unknown:
-            feasible = self.predictor.colocations_feasible(
-                [ColocationSpec(sig) for sig in unknown], floor
-            )
-            for sig, verdict in zip(unknown, feasible):
-                verdict = bool(verdict)
-                verdicts[sig] = verdict
-                self.cache.put(colocation_key(sig, floor), verdict)
+                self._count("predict_cache_shortcuts", policy=self.name)
         return verdicts
 
     def select(self, signatures: list[Signature], session) -> int | None:
         """Fullest server the CM predicts stays feasible; ``None`` otherwise."""
         candidates = _candidates(signatures, session, self.max_colocation)
-        if not candidates:
-            return None
         verdicts = self._verdicts([sig for _, sig in candidates])
         best, best_size = None, -1
         for idx, candidate in candidates:
@@ -136,7 +170,7 @@ class CMFeasiblePolicy:
         return best
 
 
-class MaxFPSPolicy:
+class MaxFPSPolicy(_InstrumentedPolicy):
     """RM-guided placement: best predicted post-placement FPS (Section 5.2).
 
     Among servers where the RM predicts every hosted game (including the
@@ -164,30 +198,37 @@ class MaxFPSPolicy:
     def _fps(self, candidate_sigs: list[Signature]) -> dict[Signature, tuple]:
         fps: dict[Signature, tuple] = {}
         unknown: list[Signature] = []
-        for sig in candidate_sigs:
-            if sig in fps:
-                continue
-            hit = self.cache.lookup(colocation_key(sig), None)
-            if hit is not None:
-                fps[sig] = hit
-            elif sig not in unknown:
-                unknown.append(sig)
-        if unknown:
-            batched = self.predictor.predict_fps_batch(
-                [ColocationSpec(sig) for sig in unknown]
-            )
-            for sig, values in zip(unknown, batched):
-                values = tuple(float(v) for v in values)
-                fps[sig] = values
-                self.cache.put(colocation_key(sig), values)
+        with self.tracer.span("cache", policy=self.name) as span:
+            for sig in candidate_sigs:
+                if sig in fps:
+                    continue
+                hit = self.cache.lookup(colocation_key(sig), None)
+                if hit is not None:
+                    fps[sig] = hit
+                elif sig not in unknown:
+                    unknown.append(sig)
+            span.set(hits=len(fps), misses=len(unknown))
+        with self.tracer.span(
+            "predict", policy=self.name, batched=len(unknown), cached=not unknown
+        ):
+            if unknown:
+                batched = self.predictor.predict_fps_batch(
+                    [ColocationSpec(sig) for sig in unknown]
+                )
+                for sig, values in zip(unknown, batched):
+                    values = tuple(float(v) for v in values)
+                    fps[sig] = values
+                    self.cache.put(colocation_key(sig), values)
+            else:
+                self._count("predict_cache_shortcuts", policy=self.name)
         return fps
 
     def select(self, signatures: list[Signature], session) -> int | None:
         """Feasible server maximizing predicted total FPS; ``None`` otherwise."""
         candidates = _candidates(signatures, session, self.max_colocation)
+        fps = self._fps([sig for _, sig in candidates])
         if not candidates:
             return None
-        fps = self._fps([sig for _, sig in candidates])
         best, best_total = None, -np.inf
         for idx, candidate in candidates:
             values = fps[candidate]

@@ -1,10 +1,18 @@
 """Tests for serving telemetry counters and latency histograms."""
 
 import json
+import math
 
 import pytest
 
-from repro.serving.telemetry import Counter, LatencyHistogram, Telemetry
+from repro.serving.telemetry import (
+    MAX_EVENTS,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    Telemetry,
+    merge_snapshots,
+)
 
 
 class TestCounter:
@@ -78,3 +86,152 @@ class TestTelemetry:
         parsed = json.loads(json.dumps(snapshot))
         assert parsed["counters"]["requests"] == 3
         assert parsed["histograms"]["lat"]["count"] == 1
+
+    def test_snapshot_keeps_legacy_keys_and_adds_new_ones(self):
+        t = Telemetry()
+        t.counter("requests").inc()
+        t.histogram("lat").observe(0.002)
+        t.event("marker")
+        snapshot = t.snapshot()
+        # Old consumers keep working: the original keys hold their
+        # original shapes; gauges and labeled children live in new keys.
+        assert set(snapshot) == {
+            "counters",
+            "histograms",
+            "events",
+            "events_dropped",
+            "gauges",
+            "labeled",
+        }
+        assert snapshot["counters"] == {"requests": 1}
+        assert snapshot["events"] == [{"event": "marker"}]
+        assert snapshot["events_dropped"] == 0
+        assert snapshot["labeled"] == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        g = Gauge("open_servers")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value == 6.0
+
+    def test_registered_in_snapshot(self):
+        t = Telemetry()
+        t.gauge("open_servers").set(3)
+        assert t.snapshot()["gauges"] == {"open_servers": 3.0}
+
+
+class TestLabels:
+    def test_children_keyed_by_label_set(self):
+        t = Telemetry()
+        t.counter("decisions", policy="cm-feasible").inc(2)
+        t.counter("decisions", policy="max-fps").inc()
+        # Label order must not matter for identity.
+        t.counter("decisions", mode="normal", policy="cm-feasible").inc()
+        t.counter("decisions", policy="cm-feasible", mode="normal").inc()
+        children = t.snapshot()["labeled"]["counters"]["decisions"]
+        by_labels = {tuple(sorted(c["labels"].items())): c["value"] for c in children}
+        assert by_labels == {
+            (("policy", "cm-feasible"),): 2,
+            (("policy", "max-fps"),): 1,
+            (("mode", "normal"), ("policy", "cm-feasible")): 2,
+        }
+
+    def test_labeled_and_unlabeled_are_distinct(self):
+        t = Telemetry()
+        t.counter("decisions").inc(7)
+        t.counter("decisions", policy="cm-feasible").inc()
+        snapshot = t.snapshot()
+        assert snapshot["counters"]["decisions"] == 7
+        assert snapshot["labeled"]["counters"]["decisions"][0]["value"] == 1
+
+    def test_labeled_histogram_and_timer(self):
+        t = Telemetry()
+        with t.time("train_s", model="rm"):
+            pass
+        t.histogram("train_s", model="rm").observe(0.25)
+        children = t.snapshot()["labeled"]["histograms"]["train_s"]
+        assert len(children) == 1
+        assert children[0]["count"] == 2
+
+
+class TestEventEviction:
+    def test_cap_is_exact(self):
+        t = Telemetry()
+        for i in range(MAX_EVENTS + 25):
+            t.event("tick", i=i)
+        snapshot = t.snapshot()
+        assert len(snapshot["events"]) == MAX_EVENTS
+        assert snapshot["events_dropped"] == 25
+        # Oldest dropped, newest retained.
+        assert snapshot["events"][0]["i"] == 25
+        assert snapshot["events"][-1]["i"] == MAX_EVENTS + 24
+
+    def test_no_drops_below_cap(self):
+        t = Telemetry()
+        for _ in range(10):
+            t.event("tick")
+        assert t.snapshot()["events_dropped"] == 0
+
+
+class TestOverflow:
+    def test_quantile_in_overflow_returns_inf(self):
+        h = LatencyHistogram("lat", buckets=(0.001, 0.01))
+        h.observe(0.5)
+        assert h.quantile(0.5) == math.inf
+        assert h.overflow_count == 1
+        assert h.to_dict()["overflow_count"] == 1
+        assert h.to_dict()["p99_s"] == math.inf
+
+    def test_finite_quantiles_unaffected(self):
+        h = LatencyHistogram("lat", buckets=(0.001, 0.01))
+        for _ in range(99):
+            h.observe(0.0005)
+        h.observe(0.5)
+        assert h.quantile(0.5) == pytest.approx(0.001)
+        assert h.quantile(1.0) == math.inf
+
+
+class TestMergeAndFromDict:
+    def test_from_dict_round_trip(self):
+        h = LatencyHistogram("lat", buckets=(0.001, 0.01))
+        for value in (0.0005, 0.005, 0.5):
+            h.observe(value)
+        rebuilt = LatencyHistogram.from_dict("lat", h.to_dict())
+        assert rebuilt.to_dict() == h.to_dict()
+
+    def test_merge_snapshots_counters_and_buckets(self):
+        a, b = Telemetry(), Telemetry()
+        a.counter("requests").inc(2)
+        b.counter("requests").inc(3)
+        a.histogram("lat").observe(0.25)
+        b.histogram("lat").observe(0.5)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["counters"]["requests"] == 5
+        assert merged["histograms"]["lat"]["count"] == 2
+        assert merged["histograms"]["lat"]["total_s"] == pytest.approx(0.75)
+
+
+class TestPrometheusExposition:
+    def test_renders_all_metric_kinds(self):
+        t = Telemetry()
+        t.counter("requests").inc(4)
+        t.counter("decisions", policy="cm-feasible").inc()
+        t.gauge("open_servers").set(2)
+        t.histogram("lat", buckets=(0.001, 0.01)).observe(0.005)
+        text = t.to_prometheus()
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 4" in text
+        assert 'decisions_total{policy="cm-feasible"} 1' in text
+        assert "open_servers 2" in text
+        assert 'lat_bucket{le="0.001"} 0' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 0.005" in text
+        assert "lat_count 1" in text
+        assert text.endswith("\n")
