@@ -13,12 +13,13 @@ speed overstates need).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.training import ColocationSpec
 from repro.hardware.resources import Resource, ResourceKind
 from repro.hardware.server import DEFAULT_SERVER, ServerSpec
-from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.profiling.database import ProfileDatabase
@@ -61,7 +62,7 @@ class VBPJudge:
             [self.demand_vector(name, res) for name, res in spec.entries], axis=0
         )
 
-    def colocation_feasible(self, spec: ColocationSpec, qos: float = 0.0) -> bool:
+    def colocation_feasible(self, spec: ColocationSpec, qos: float = 0.0) -> bool:  # noqa: ARG002 — predictor interface
         """Feasible iff summed demand fits capacity on every dimension.
 
         ``qos`` is accepted for interface compatibility; VBP cannot reason

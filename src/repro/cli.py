@@ -144,17 +144,14 @@ def _cmd_predict(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.obs import Tracer
+    from repro.obs import Telemetry, Tracer
+    from repro.placement import BreakerConfig, PredictionCache, build_policy
     from repro.serving import (
         AdmissionController,
-        BreakerConfig,
         FaultConfig,
         FaultInjector,
-        PredictionCache,
         RequestBroker,
-        Telemetry,
         TraceConfig,
-        build_policy,
         generate_trace,
     )
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -25,7 +26,6 @@ from repro.core.features import cm_feature_vector, rm_feature_vector
 from repro.core.regression import GAugurRegressor
 from repro.core.training import ColocationSpec
 from repro.obs.tracing import NOOP_TRACER
-from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid the core <-> profiling import cycle
     from repro.profiling.database import ProfileDatabase

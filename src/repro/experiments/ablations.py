@@ -138,7 +138,7 @@ def run_feature_knockout(lab: Lab) -> dict:
     all_res = list(Resource)
     builders: dict[str, FeatureBuilder] = {
         "full": lambda s, co: np.concatenate([s, aggregate_intensity(co)]),
-        "no sensitivity curves": lambda s, co: aggregate_intensity(co),
+        "no sensitivity curves": lambda _s, co: aggregate_intensity(co),
         "no co-runner intensity": lambda s, co: np.concatenate(
             [s, [float(len(co))]]
         ),

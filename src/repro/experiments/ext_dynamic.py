@@ -12,13 +12,13 @@ from __future__ import annotations
 from repro.experiments.fig09_feasibility import select_games
 from repro.experiments.lab import Lab
 from repro.experiments.tables import format_table
-from repro.scheduling.dynamic import (
-    cm_feasible_policy,
-    dedicated_policy,
-    generate_sessions,
+from repro.placement import (
+    CMFeasiblePolicy,
+    DedicatedPolicy,
+    VBPFirstFitPolicy,
     simulate_sessions,
-    vbp_policy,
 )
+from repro.scheduling.dynamic import generate_sessions
 
 __all__ = ["run", "render"]
 
@@ -33,11 +33,13 @@ def run(lab: Lab, *, n_sessions: int = 800, qos: float = 60.0) -> dict:
         mean_duration=25.0,
         seed=lab.config.seed,
     )
+    # Policy objects from the shared placement core, passed straight to
+    # the simulator (which dispatches them through its DecisionEngine).
     policies = {
-        "GAugur(CM)": cm_feasible_policy(lab.predictor, qos),
-        "GAugur(CM) +10% margin": cm_feasible_policy(lab.predictor, qos, margin=1.1),
-        "VBP": vbp_policy(lab.vbp),
-        "Dedicated": dedicated_policy(),
+        "GAugur(CM)": CMFeasiblePolicy(lab.predictor, qos),
+        "GAugur(CM) +10% margin": CMFeasiblePolicy(lab.predictor, qos, margin=1.1),
+        "VBP": VBPFirstFitPolicy(lab.vbp),
+        "Dedicated": DedicatedPolicy(),
     }
     metrics = {
         label: simulate_sessions(

@@ -17,12 +17,8 @@ import numpy as np
 from repro.experiments.fig09_feasibility import select_games
 from repro.experiments.lab import Lab
 from repro.experiments.tables import format_series, format_table
-from repro.scheduling import (
-    assign_max_fps,
-    assign_worst_fit,
-    evaluate_assignment,
-    generate_requests,
-)
+from repro.placement import assign_max_fps, assign_worst_fit, evaluate_assignment
+from repro.scheduling import generate_requests
 
 __all__ = ["SERVER_COUNTS", "N_REQUESTS", "run", "render"]
 

@@ -39,8 +39,8 @@ from repro.core.training import ColocationSpec, SampleSet
 from repro.games import GameCatalog, Resolution, build_catalog
 from repro.games.catalog import DEFAULT_CATALOG_SEED, REPRESENTATIVE_GAMES
 from repro.hardware.server import DEFAULT_SERVER, ServerSpec
+from repro.obs.metrics import Telemetry
 from repro.profiling import ContentionProfiler, ProfileDatabase, ProfilerConfig
-from repro.serving.telemetry import Telemetry
 from repro.utils.rng import spawn_rng
 from repro.utils.serialization import dump_json, load_json
 

@@ -11,10 +11,9 @@ so the GAugur core can swap learners freely.
 
 from repro.ml.base import BaseEstimator, check_array, check_X_y
 from repro.ml.factorization import ALSMatrixCompletion
-from repro.ml.inspection import permutation_importance
-from repro.ml.serialization import load_model, save_model
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
 from repro.ml.gbdt import GradientBoostingClassifier, GradientBoostingRegressor
+from repro.ml.inspection import permutation_importance
 from repro.ml.metrics import (
     accuracy_score,
     confusion_counts,
@@ -27,6 +26,7 @@ from repro.ml.metrics import (
 )
 from repro.ml.model_selection import KFold, cross_val_score, train_test_split
 from repro.ml.preprocessing import StandardScaler
+from repro.ml.serialization import load_model, save_model
 from repro.ml.svm import SVC, SVR
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 

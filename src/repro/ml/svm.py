@@ -32,7 +32,7 @@ def rbf_kernel(A: np.ndarray, B: np.ndarray, gamma: float) -> np.ndarray:
     return np.exp(-gamma * np.maximum(sq, 0.0))
 
 
-def linear_kernel(A: np.ndarray, B: np.ndarray, gamma: float = 1.0) -> np.ndarray:
+def linear_kernel(A: np.ndarray, B: np.ndarray, gamma: float = 1.0) -> np.ndarray:  # noqa: ARG001 — uniform kernel interface
     """Plain inner-product kernel (gamma ignored)."""
     return A @ B.T
 

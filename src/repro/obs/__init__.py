@@ -1,12 +1,15 @@
-"""Observability: request tracing, snapshot tooling, metric exporters.
+"""Observability: metrics, request tracing, snapshot tooling, exporters.
 
-The serving stack answers *what happened in aggregate* through
-:class:`repro.serving.Telemetry`; this package answers *what happened to
-this one request* and *how do two runs compare*:
+The bottom layer of the stack — everything here is dependency-free and
+imported by the placement core and both frontends:
 
+* :class:`Telemetry` (:mod:`repro.obs.metrics`) — counters, gauges and
+  fixed-bucket latency histograms exposed as one JSON snapshot,
+  answering *what happened in aggregate*;
 * :class:`Tracer` / :class:`Span` — dependency-free nested span tracing
   with deterministic ids, an injectable clock (:class:`TickClock`), and
-  exporters to JSONL and Chrome trace-event JSON (Perfetto-loadable);
+  exporters to JSONL and Chrome trace-event JSON (Perfetto-loadable),
+  answering *what happened to this one request*;
 * snapshot tools — load/summarize/merge/diff telemetry snapshots and
   render the Prometheus text exposition, powering the ``repro metrics``
   CLI subcommand;
@@ -14,6 +17,13 @@ this one request* and *how do two runs compare*:
   tests and CI so exporter output stays parseable.
 """
 
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    Telemetry,
+)
 from repro.obs.snapshots import (
     FailSpec,
     check_regressions,
@@ -29,6 +39,11 @@ from repro.obs.snapshots import (
 from repro.obs.tracing import NOOP_TRACER, Span, TickClock, Tracer, spans_to_chrome
 
 __all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "Telemetry",
+    "DEFAULT_LATENCY_BUCKETS",
     "Span",
     "Tracer",
     "TickClock",

@@ -18,7 +18,7 @@ import math
 import re
 from dataclasses import dataclass
 
-from repro.serving.telemetry import merge_snapshots, snapshot_to_prometheus
+from repro.obs.metrics import merge_snapshots, snapshot_to_prometheus
 
 __all__ = [
     "load_snapshot",

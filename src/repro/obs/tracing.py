@@ -95,7 +95,7 @@ class Span:
         self._tracer._open(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
         if exc_type is not None:
             self.attributes.setdefault("error", exc_type.__name__)
         self._tracer._close(self)
@@ -123,10 +123,10 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, _exc_type, _exc, _tb) -> bool:
         return False
 
-    def set(self, **attributes) -> "_NoopSpan":
+    def set(self, **_attributes) -> "_NoopSpan":
         return self
 
 

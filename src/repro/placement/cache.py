@@ -1,0 +1,142 @@
+"""LRU prediction cache keyed by canonical colocation keys.
+
+Interference predictions are pure functions of the colocation *multiset*:
+which games run together at which resolutions (plus the QoS floor for CM
+verdicts).  Entry order carries no information — the Eq. 5 aggregate is
+symmetric in the co-runners — so keys are canonicalized by
+:func:`repro.placement.signature.colocation_key` (sorted entries), making
+``(A, B)`` and ``(B, A)`` one cache line.  This is the cache-key
+contract: two colocations with equal entry multisets and equal QoS
+floors always share a key, and invalidating any permutation of a
+co-runner set therefore evicts every permutation at once.
+
+The store is a plain LRU over an :class:`collections.OrderedDict` with
+monotonic hit/miss/eviction statistics, sized for the serving hot path
+where the same few hundred server signatures recur across thousands of
+arrivals.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.placement.signature import colocation_key
+
+__all__ = ["colocation_key", "PredictionCache"]
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+_MISS = object()
+
+
+class PredictionCache:
+    """Bounded LRU cache for per-colocation prediction results.
+
+    ``capacity=0`` disables caching (every lookup misses, nothing is
+    stored), which keeps the serving code path uniform when caching is
+    turned off for measurement.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._store: OrderedDict[tuple, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: tuple, default: Any = None) -> Any:
+        """Return the cached value for ``key`` (counting a hit) or ``default``."""
+        value = self._store.get(key, _MISS)
+        if value is _MISS:
+            self._misses += 1
+            return default
+        self._hits += 1
+        self._store.move_to_end(key)
+        return value
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._store
+
+    def put(self, key: tuple, value: Any) -> None:
+        """Insert or refresh ``key``, evicting the least recently used entry."""
+        if self.capacity == 0:
+            return
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = value
+        if len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+            self._evictions += 1
+
+    def get_or_compute(self, key: tuple, compute) -> Any:
+        """Cached value for ``key``, calling ``compute()`` on a miss."""
+        value = self.lookup(key, _MISS)
+        if value is _MISS:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def invalidate(self, key: tuple) -> bool:
+        """Drop ``key`` if present (returns whether an entry was removed).
+
+        Invalidation is the *semantic* removal path — a profile was
+        re-measured, a model was retrained, a fault injector declared the
+        entry stale — counted separately from capacity evictions.
+        """
+        if key not in self._store:
+            return False
+        del self._store[key]
+        self._invalidations += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are preserved — they are monotonic)."""
+        self._store.clear()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that found nothing."""
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped to respect ``capacity``."""
+        return self._evictions
+
+    @property
+    def invalidations(self) -> int:
+        """Entries dropped explicitly via :meth:`invalidate`."""
+        return self._invalidations
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total lookups (0.0 before any lookup)."""
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """JSON-able statistics snapshot."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._store),
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "invalidations": self._invalidations,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,168 @@
+"""Fleet state: the server-pool bookkeeping both frontends share.
+
+Before this core existed, the offline simulator
+(:func:`repro.scheduling.dynamic.simulate_sessions`) and the online
+broker (:class:`repro.serving.RequestBroker`) each carried their own
+copy of the same bookkeeping — a dict of server compositions, a
+departure heap, peak tracking — proven equivalent only by parity tests.
+:class:`FleetState` is the single implementation: servers are stable
+integer ids hosting lists of live sessions, members are kept in
+departure order (earliest-ending first), and every admitted session gets
+a monotonically increasing *member id* so crash evictions can be
+re-ordered deterministically regardless of any container iteration
+order.
+
+Mutation goes through three verbs — :meth:`place` (admit a session, on
+an existing server or a fresh one), :meth:`pop_departures` (retire
+sessions whose time has come), and :meth:`crash` (evict a whole server)
+— which is what lets :class:`repro.placement.DecisionEngine` be the only
+place placement decisions turn into fleet changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.games.resolution import Resolution
+from repro.placement.signature import Signature, signature_of
+
+__all__ = ["Session", "FleetState"]
+
+
+@dataclass(frozen=True)
+class Session:
+    """One play session: a game at a resolution over [arrival, arrival+duration)."""
+
+    game: str
+    resolution: Resolution
+    arrival: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.arrival < 0:
+            raise ValueError("arrival must be >= 0")
+
+    @property
+    def departure(self) -> float:
+        """The instant the session ends."""
+        return self.arrival + self.duration
+
+
+class FleetState:
+    """Servers, member signatures, and arrival/departure bookkeeping.
+
+    The pool grows on demand (:meth:`place` with ``choice=None``) and
+    shrinks when servers empty; ``peak`` records the largest
+    simultaneous pool observed after any placement.  Iteration order of
+    the open servers is insertion order (stable ids ascending within one
+    run), and the index a policy returns is interpreted against exactly
+    the :meth:`signatures` list of the same instant.
+    """
+
+    def __init__(self) -> None:
+        # server id -> members as (member_id, session), departure-ordered.
+        self._servers: dict[int, list[tuple[int, Session]]] = {}
+        self._departures: list[tuple[float, int, int]] = []  # (time, seq, server)
+        self._next_server_id = 0
+        self._next_member_id = 0
+        self._seq = 0
+        self.peak = 0
+
+    # -- read side ------------------------------------------------------
+
+    @property
+    def n_open(self) -> int:
+        """Number of currently open (non-empty) servers."""
+        return len(self._servers)
+
+    @property
+    def servers_opened(self) -> int:
+        """Total servers ever opened (stable ids are never reused)."""
+        return self._next_server_id
+
+    def server_ids(self) -> list[int]:
+        """Stable ids of the open servers, in pool (decision-index) order."""
+        return list(self._servers)
+
+    def signatures(self) -> list[Signature]:
+        """Canonical signatures of the open servers, in pool order.
+
+        This is the list placement policies decide against; the index a
+        policy returns is a position in this list.
+        """
+        return [signature_of(s for _, s in members) for members in self._servers.values()]
+
+    def members(self, server_id: int) -> list[Session]:
+        """Live sessions hosted on ``server_id``, departure-ordered."""
+        return [s for _, s in self._servers[server_id]]
+
+    # -- mutation -------------------------------------------------------
+
+    def place(self, choice: int | None, session: Session) -> int:
+        """Apply a placement decision; returns the hosting server's id.
+
+        ``choice`` is a policy's index into the current :meth:`signatures`
+        list, or ``None`` to open a fresh server.  The session's
+        departure is scheduled and the member list re-sorted so the
+        earliest-ending session leaves first.
+        """
+        member = (self._next_member_id, session)
+        self._next_member_id += 1
+        if choice is None:
+            server_id = self._next_server_id
+            self._next_server_id += 1
+            self._servers[server_id] = [member]
+        else:
+            server_id = list(self._servers)[choice]
+            hosted = self._servers[server_id]
+            hosted.append(member)
+            # Keep departure order: earliest-ending session leaves first.
+            hosted.sort(key=lambda m: m[1].departure)
+        heapq.heappush(self._departures, (session.departure, self._seq, server_id))
+        self._seq += 1
+        self.peak = max(self.peak, len(self._servers))
+        return server_id
+
+    def pop_departures(
+        self, until: float, *, before_each: Callable[[float], None] | None = None
+    ) -> int:
+        """Retire every session departing at or before ``until``.
+
+        Servers that empty leave the pool.  ``before_each`` (if given) is
+        called with the departure time just before each member is
+        removed — the offline frontend uses it to accrue server-time and
+        QoS-violation time up to that instant.  Departure entries whose
+        server already vanished (crashed) are skipped silently: a
+        crashed server's sessions were re-admitted under new entries.
+        Returns the number of sessions actually retired.
+        """
+        removed = 0
+        while self._departures and self._departures[0][0] <= until:
+            t, _, server_id = heapq.heappop(self._departures)
+            members = self._servers.get(server_id)
+            if members is None:
+                continue
+            if before_each is not None:
+                before_each(t)
+            members.pop(0)
+            if not members:
+                del self._servers[server_id]
+            removed += 1
+        return removed
+
+    def crash(self, server_id: int) -> list[Session]:
+        """Evict ``server_id`` wholesale, returning its live sessions.
+
+        The evicted sessions are ordered by *member id* (admission
+        order), making crash → evict → readmission trajectories a pure
+        function of the crash RNG: no dict or member-list iteration
+        order can leak into who re-enters admission first.  Stale
+        departure entries for the crashed server remain in the heap and
+        are skipped by :meth:`pop_departures`.
+        """
+        members = self._servers.pop(server_id)
+        return [s for _, s in sorted(members, key=lambda m: m[0])]

@@ -13,17 +13,11 @@ Evaluation utilities measure the *actual* outcome of every placement by
 running the resulting colocations on the simulator.
 """
 
-from repro.scheduling.assignment import (
+from repro.placement.assignment import (
     AssignmentResult,
     assign_max_fps,
     assign_worst_fit,
     evaluate_assignment,
-)
-from repro.scheduling.metrics import (
-    FleetSummary,
-    jain_fairness,
-    qos_satisfaction,
-    summarize_fleet,
 )
 from repro.scheduling.dynamic import (
     DynamicMetrics,
@@ -41,6 +35,12 @@ from repro.scheduling.feasible import (
     enumerate_colocations,
     judge_feasibility,
     score_judgements,
+)
+from repro.scheduling.metrics import (
+    FleetSummary,
+    jain_fairness,
+    qos_satisfaction,
+    summarize_fleet,
 )
 from repro.scheduling.packing import PackingResult, pack_requests
 from repro.scheduling.requests import GameRequest, generate_requests

@@ -1,183 +1,23 @@
-"""Online request assignment onto a fixed fleet (Section 5.2).
+"""Deprecated location: fixed-fleet assignment moved to :mod:`repro.placement.assignment`.
 
-Prediction-guided policies place each arriving request on the server whose
-predicted post-assignment frame rates are best; VBP places worst-fit by
-remaining capacity.  Because a server's predicted value depends only on its
-*signature* (the multiset of hosted (game, resolution) entries), deltas are
-memoized per (signature, request) pair — with 10 games the signature space
-is tiny, making the greedy exact yet fast for thousands of requests.
+The Section 5.2 fixed-fleet assigners are placement logic and now live
+in the shared placement core alongside the dynamic policies and the
+:class:`repro.placement.DecisionEngine`.  This module re-exports the
+public surface so existing imports keep working for one release —
+update to ``from repro.placement.assignment import ...`` (or
+:mod:`repro.placement`).
 """
 
-from __future__ import annotations
+from repro.placement.assignment import (
+    AssignmentResult,
+    assign_max_fps,
+    assign_worst_fit,
+    evaluate_assignment,
+)
 
-from collections import defaultdict
-from collections.abc import Sequence
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.baselines.vbp import VBPJudge
-from repro.core.training import ColocationSpec
-from repro.games.catalog import GameCatalog
-from repro.hardware.server import DEFAULT_SERVER, ServerSpec
-from repro.scheduling.requests import GameRequest
-from repro.simulator.measurement import MeasurementConfig, run_colocation
-
-__all__ = ["AssignmentResult", "assign_max_fps", "assign_worst_fit", "evaluate_assignment"]
-
-#: A server signature: sorted tuple of (game, resolution) entries.
-Signature = tuple[tuple[str, object], ...]
-
-
-@dataclass
-class AssignmentResult:
-    """Final placement: one entry tuple per server (possibly empty)."""
-
-    servers: list[Signature]
-
-    @property
-    def n_servers(self) -> int:
-        """Fleet size."""
-        return len(self.servers)
-
-    @property
-    def n_requests(self) -> int:
-        """Total requests placed."""
-        return sum(len(s) for s in self.servers)
-
-    def occupied(self) -> list[Signature]:
-        """Signatures of servers hosting at least one game."""
-        return [s for s in self.servers if s]
-
-
-def _sig_add(sig: Signature, request: GameRequest) -> Signature:
-    return tuple(sorted(sig + ((request.game, request.resolution),)))
-
-
-def assign_max_fps(
-    requests: Sequence[GameRequest],
-    predictor,
-    n_servers: int,
-    *,
-    max_colocation: int = 4,
-) -> AssignmentResult:
-    """Greedy best-predicted-server assignment.
-
-    ``predictor`` must expose ``predict_fps(ColocationSpec) -> array``
-    (GAugur's RM, Sigmoid or SMiTe all qualify).  Each request goes to the
-    server maximizing the predicted total FPS after placement; servers at
-    ``max_colocation`` games are excluded.
-    """
-    if n_servers < 1:
-        raise ValueError("n_servers must be >= 1")
-    if len(requests) > n_servers * max_colocation:
-        raise ValueError(
-            f"{len(requests)} requests cannot fit on {n_servers} servers "
-            f"of capacity {max_colocation}"
-        )
-
-    servers: list[Signature] = [() for _ in range(n_servers)]
-    by_signature: dict[Signature, set[int]] = defaultdict(set)
-    for i in range(n_servers):
-        by_signature[()].add(i)
-
-    sum_cache: dict[Signature, float] = {(): 0.0}
-
-    def predicted_sum(sig: Signature) -> float:
-        if sig not in sum_cache:
-            spec = ColocationSpec(sig)
-            sum_cache[sig] = float(np.sum(predictor.predict_fps(spec)))
-        return sum_cache[sig]
-
-    delta_cache: dict[tuple[Signature, tuple], float] = {}
-
-    for request in requests:
-        key_entry = (request.game, request.resolution)
-        best_sig, best_delta = None, -np.inf
-        for sig, members in by_signature.items():
-            if not members or len(sig) >= max_colocation:
-                continue
-            cache_key = (sig, key_entry)
-            if cache_key not in delta_cache:
-                delta_cache[cache_key] = predicted_sum(
-                    _sig_add(sig, request)
-                ) - predicted_sum(sig)
-            delta = delta_cache[cache_key]
-            if delta > best_delta:
-                best_delta, best_sig = delta, sig
-        if best_sig is None:
-            raise RuntimeError("no server has remaining capacity")
-        server_id = next(iter(by_signature[best_sig]))
-        by_signature[best_sig].discard(server_id)
-        new_sig = _sig_add(best_sig, request)
-        servers[server_id] = new_sig
-        by_signature[new_sig].add(server_id)
-
-    return AssignmentResult(servers=servers)
-
-
-def assign_worst_fit(
-    requests: Sequence[GameRequest],
-    vbp: VBPJudge,
-    n_servers: int,
-    *,
-    max_colocation: int = 4,
-) -> AssignmentResult:
-    """VBP worst-fit: place on the fitting server with most remaining capacity.
-
-    If no server fits the request under the demand-vector constraint, the
-    emptiest server (by slack) takes it anyway — the fleet size is fixed and
-    every request must be served.
-    """
-    if n_servers < 1:
-        raise ValueError("n_servers must be >= 1")
-    if len(requests) > n_servers * max_colocation:
-        raise ValueError(
-            f"{len(requests)} requests cannot fit on {n_servers} servers "
-            f"of capacity {max_colocation}"
-        )
-
-    dims = len(vbp.demand_vector(requests[0].game, requests[0].resolution))
-    usage = np.zeros((n_servers, dims), dtype=float)
-    counts = np.zeros(n_servers, dtype=int)
-    servers: list[list[tuple]] = [[] for _ in range(n_servers)]
-    demand_cache: dict[tuple, np.ndarray] = {}
-
-    for request in requests:
-        key = (request.game, request.resolution)
-        if key not in demand_cache:
-            demand_cache[key] = vbp.demand_vector(request.game, request.resolution)
-        demand = demand_cache[key]
-        slack = dims - usage.sum(axis=1)
-        open_mask = counts < max_colocation
-        fits = open_mask & np.all(usage + demand <= 1.0 + 1e-9, axis=1)
-        pool = np.where(fits)[0] if fits.any() else np.where(open_mask)[0]
-        target = int(pool[np.argmax(slack[pool])])
-        usage[target] += demand
-        counts[target] += 1
-        servers[target].append(key)
-
-    return AssignmentResult(servers=[tuple(sorted(s)) for s in servers])
-
-
-def evaluate_assignment(
-    catalog: GameCatalog,
-    result: AssignmentResult,
-    *,
-    server: ServerSpec = DEFAULT_SERVER,
-    config: MeasurementConfig | None = None,
-) -> np.ndarray:
-    """Actual per-request FPS of a placement, measured on the simulator.
-
-    Identical signatures are measured once (deterministic measurements make
-    this exact, not an approximation).
-    """
-    fps_cache: dict[Signature, tuple[float, ...]] = {}
-    readings: list[float] = []
-    for sig in result.occupied():
-        if sig not in fps_cache:
-            spec = ColocationSpec(sig)
-            run = run_colocation(spec.instances(catalog), server=server, config=config)
-            fps_cache[sig] = run.fps
-        readings.extend(fps_cache[sig])
-    return np.asarray(readings, dtype=float)
+__all__ = [
+    "AssignmentResult",
+    "assign_max_fps",
+    "assign_worst_fit",
+    "evaluate_assignment",
+]

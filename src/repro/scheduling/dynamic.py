@@ -2,29 +2,34 @@
 
 The paper's predictor exists to serve an *online* dispatcher: requests
 arrive continuously, sessions end, and migration is off the table once a
-game is placed (Section 1, challenge 1).  This module simulates that
-regime: Poisson arrivals with exponential session durations, a server pool
-that grows on demand and shrinks when servers empty, and pluggable
-placement policies.  Metrics separate the two costs the paper trades off —
-server-hours (utilization) and QoS-violation session-time (experience).
+game is placed (Section 1, challenge 1).  This module is the offline
+frontend over the shared placement core (:mod:`repro.placement`): it
+generates Poisson arrival traces and exposes the batch-clocked simulator
+(:func:`repro.placement.offline.simulate_sessions`) together with thin
+policy factories over the canonical implementations in
+:mod:`repro.placement.policies`.  The online serving broker
+(:mod:`repro.serving`) drives the *same* core, so offline/online
+placement parity holds by construction.
 
-Ground truth for violations comes from the simulator: every distinct
-server composition is measured once (memoized by signature).
+Metrics separate the two costs the paper trades off — server-hours
+(utilization) and QoS-violation session-time (experience).  Ground truth
+for violations comes from the simulator: every distinct server
+composition is measured once (memoized by signature).
 """
 
 from __future__ import annotations
 
-import heapq
-import time as _time
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass
 
-
-from repro.core.training import ColocationSpec
-from repro.games.catalog import GameCatalog
 from repro.games.resolution import REFERENCE_RESOLUTION, Resolution
-from repro.hardware.server import DEFAULT_SERVER, ServerSpec
-from repro.simulator.measurement import MeasurementConfig, run_colocation
+from repro.placement.fleet import Session
+from repro.placement.offline import DynamicMetrics, simulate_sessions
+from repro.placement.policies import (
+    CMFeasiblePolicy,
+    DedicatedPolicy,
+    VBPFirstFitPolicy,
+)
+from repro.placement.signature import Signature
 from repro.utils.rng import spawn_rng
 
 __all__ = [
@@ -38,21 +43,9 @@ __all__ = [
     "recording_policy",
 ]
 
-
-@dataclass(frozen=True)
-class Session:
-    """One play session: a game at a resolution over [arrival, arrival+duration)."""
-
-    game: str
-    resolution: Resolution
-    arrival: float
-    duration: float
-
-    def __post_init__(self) -> None:
-        if self.duration <= 0:
-            raise ValueError("duration must be positive")
-        if self.arrival < 0:
-            raise ValueError("arrival must be >= 0")
+#: Offline policy style: (current server signatures, session) -> server index
+#: or None to open a fresh server.  A "signature" is the sorted entry tuple.
+Policy = Callable[[list[Signature], Session], int | None]
 
 
 def generate_sessions(
@@ -88,11 +81,9 @@ def generate_sessions(
 
 
 # ----------------------------------------------------------------------
-# Placement policies: (current server signatures, session) -> server index
-# or None to open a fresh server.  A "signature" is the sorted entry tuple.
-
-Signature = tuple[tuple[str, Resolution], ...]
-Policy = Callable[[list[Signature], Session], int | None]
+# Policy factories: thin wrappers over repro.placement.policies returning
+# offline-style callables (the bound ``select`` method of the canonical
+# policy object), so existing call sites keep working unchanged.
 
 
 def cm_feasible_policy(
@@ -105,53 +96,19 @@ def cm_feasible_policy(
     consolidation for fewer violations when the CM's boundary is noisy —
     the knob the Section 7 discussion implies for production deployments.
     """
-    if margin < 1.0:
-        raise ValueError("margin must be >= 1.0")
-    verdict_cache: dict[Signature, bool] = {}
-
-    def feasible(sig: Signature) -> bool:
-        if sig not in verdict_cache:
-            verdict_cache[sig] = predictor.colocation_feasible(
-                ColocationSpec(sig), qos * margin
-            )
-        return verdict_cache[sig]
-
-    def place(servers: list[Signature], session: Session) -> int | None:
-        best, best_size = None, -1
-        entry = (session.game, session.resolution)
-        for idx, sig in enumerate(servers):
-            if len(sig) >= max_colocation:
-                continue
-            candidate = tuple(sorted(sig + (entry,)))
-            if feasible(candidate) and len(sig) > best_size:
-                best, best_size = idx, len(sig)
-        return best
-
-    return place
+    return CMFeasiblePolicy(
+        predictor, qos, max_colocation=max_colocation, margin=margin
+    ).select
 
 
 def vbp_policy(vbp, *, max_colocation: int = 4) -> Policy:
     """First fit by summed demand vectors (the VBP baseline, Section 2.2)."""
-
-    def place(servers: list[Signature], session: Session) -> int | None:
-        for idx, sig in enumerate(servers):
-            if len(sig) >= max_colocation:
-                continue
-            spec = ColocationSpec(sig) if sig else None
-            if vbp.fits_after_adding(spec, session.game, session.resolution):
-                return idx
-        return None
-
-    return place
+    return VBPFirstFitPolicy(vbp, max_colocation=max_colocation).select
 
 
 def dedicated_policy() -> Policy:
     """No colocation: every session gets its own server."""
-
-    def place(servers: list[Signature], session: Session) -> int | None:
-        return None
-
-    return place
+    return DedicatedPolicy().select
 
 
 def recording_policy(policy: Policy) -> tuple[Policy, list[int | None]]:
@@ -161,7 +118,7 @@ def recording_policy(policy: Policy) -> tuple[Policy, list[int | None]]:
     while appending each returned server index (or ``None``) to
     ``record``.  Used to compare placement trajectories between this
     offline simulator and the online serving broker
-    (:mod:`repro.serving`), which share decision semantics.
+    (:mod:`repro.serving`), which drive the same placement core.
     """
     record: list[int | None] = []
 
@@ -171,152 +128,3 @@ def recording_policy(policy: Policy) -> tuple[Policy, list[int | None]]:
         return choice
 
     return place, record
-
-
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class DynamicMetrics:
-    """Outcome of a dynamic simulation."""
-
-    n_sessions: int
-    server_minutes: float
-    dedicated_server_minutes: float
-    peak_servers: int
-    violation_minutes: float
-    session_minutes: float
-
-    @property
-    def utilization_gain(self) -> float:
-        """Server-time saved vs dedicated provisioning."""
-        if self.dedicated_server_minutes == 0:
-            return 0.0
-        return 1.0 - self.server_minutes / self.dedicated_server_minutes
-
-    @property
-    def violation_fraction(self) -> float:
-        """Fraction of total session-time spent below the QoS floor."""
-        return (
-            self.violation_minutes / self.session_minutes
-            if self.session_minutes
-            else 0.0
-        )
-
-
-def simulate_sessions(
-    catalog: GameCatalog,
-    sessions: Sequence[Session],
-    policy: Policy,
-    *,
-    qos: float = 60.0,
-    server: ServerSpec = DEFAULT_SERVER,
-    config: MeasurementConfig | None = None,
-    telemetry=None,
-) -> DynamicMetrics:
-    """Event-driven simulation of a placement policy over a session trace.
-
-    Violation time is charged per session for every interval during which
-    the *measured* frame rate of its server's composition is below ``qos``.
-
-    ``telemetry`` (a :class:`repro.serving.Telemetry`, duck-typed) makes
-    the simulator self-profiling: each arrival's full round is timed into
-    the ``sim_round_s`` histogram and the policy decision alone into
-    ``sim_decision_s``, with ``sim_arrivals``/``sim_measurements``
-    counters — the same instruments the online broker records, so offline
-    and serving runs are comparable in ``repro metrics diff``.
-    """
-    sessions = sorted(sessions, key=lambda s: s.arrival)
-    fps_cache: dict[Signature, tuple[float, ...]] = {}
-
-    def measured_fps(sig: Signature) -> tuple[float, ...]:
-        if sig not in fps_cache:
-            result = run_colocation(
-                ColocationSpec(sig).instances(catalog), server=server, config=config
-            )
-            fps_cache[sig] = result.fps
-            if telemetry is not None:
-                telemetry.counter("sim_measurements").inc()
-        return fps_cache[sig]
-
-    servers: dict[int, list[Session]] = {}
-    next_server_id = 0
-    departures: list[tuple[float, int, int]] = []  # (time, seq, server_id)
-    seq = 0
-
-    server_minutes = 0.0
-    violation_minutes = 0.0
-    peak = 0
-    last_time = 0.0
-
-    def signature(members: list[Session]) -> Signature:
-        return tuple(sorted((s.game, s.resolution) for s in members))
-
-    def accrue(until: float) -> None:
-        nonlocal server_minutes, violation_minutes, last_time
-        dt = until - last_time
-        if dt > 0:
-            server_minutes += dt * len(servers)
-            for members in servers.values():
-                fps = measured_fps(signature(members))
-                violation_minutes += dt * sum(1 for f in fps if f < qos)
-        last_time = until
-
-    def pop_departures(until: float) -> None:
-        nonlocal peak
-        while departures and departures[0][0] <= until:
-            t, _, server_id = heapq.heappop(departures)
-            accrue(t)
-            members = servers.get(server_id)
-            if members is None:
-                continue
-            members.pop(0)
-            if not members:
-                del servers[server_id]
-
-    for session in sessions:
-        round_start = _time.perf_counter()
-        pop_departures(session.arrival)
-        accrue(session.arrival)
-        sigs = [signature(m) for m in servers.values()]
-        ids = list(servers.keys())
-        if telemetry is not None:
-            decision_start = _time.perf_counter()
-            choice = policy(sigs, session)
-            telemetry.histogram("sim_decision_s").observe(
-                _time.perf_counter() - decision_start
-            )
-            telemetry.counter("sim_arrivals").inc()
-        else:
-            choice = policy(sigs, session)
-        if choice is None:
-            server_id = next_server_id
-            next_server_id += 1
-            servers[server_id] = [session]
-        else:
-            server_id = ids[choice]
-            servers[server_id].append(session)
-            # Keep departure order: earliest-ending first.
-            servers[server_id].sort(key=lambda s: s.arrival + s.duration)
-        heapq.heappush(
-            departures, (session.arrival + session.duration, seq, server_id)
-        )
-        seq += 1
-        peak = max(peak, len(servers))
-        if telemetry is not None:
-            telemetry.histogram("sim_round_s").observe(
-                _time.perf_counter() - round_start
-            )
-
-    end = max(s.arrival + s.duration for s in sessions)
-    pop_departures(end)
-    accrue(end)
-
-    return DynamicMetrics(
-        n_sessions=len(sessions),
-        server_minutes=server_minutes,
-        dedicated_server_minutes=sum(s.duration for s in sessions),
-        peak_servers=peak,
-        violation_minutes=violation_minutes,
-        session_minutes=sum(s.duration for s in sessions),
-    )

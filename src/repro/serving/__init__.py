@@ -3,11 +3,16 @@
 The paper's predictions are cheap enough to run at request-arrival time
 (Section 5); this package supplies the component that actually does so in
 a fleet — a discrete-event :class:`RequestBroker` consuming a session
-trace, an :class:`AdmissionController` that evaluates candidate servers
+trace and driving the shared placement core (:mod:`repro.placement`):
+the :class:`AdmissionController` (the serving face of
+:class:`repro.placement.DecisionEngine`) evaluates candidate servers
 through pluggable policies with graceful fallback, a canonical-key LRU
 :class:`PredictionCache` over the predictor's batched API, and
 :class:`Telemetry` (counters + latency histograms + event log) exposed as
 one JSON snapshot.  ``python -m repro serve`` wires it all together.
+The policy, cache, breaker and telemetry names re-exported here live in
+:mod:`repro.placement` and :mod:`repro.obs` since the placement-core
+refactor; importing them from ``repro.serving`` remains supported.
 
 The fault-tolerance layer keeps the dispatcher up when components fail:
 a seeded :class:`FaultInjector` wraps policies/predictors/caches with
@@ -18,20 +23,18 @@ broker survives server crashes by re-admitting evicted sessions — all
 surfaced in the report's resilience section.
 """
 
-from repro.serving.admission import AdmissionController, AdmissionDecision, Mode
-from repro.serving.breaker import BreakerConfig, BreakerState, CircuitBreaker
-from repro.serving.faults import (
-    FaultConfig,
-    FaultInjector,
-    FaultyCache,
-    FaultyPolicy,
-    FaultyPredictor,
-    InjectedFault,
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    Telemetry,
+    merge_snapshots,
+    snapshot_to_prometheus,
 )
-from repro.serving.broker import PlacementRecord, RequestBroker, ServingReport
-from repro.serving.cache import PredictionCache, colocation_key
-from repro.serving.loadgen import TraceConfig, generate_trace
-from repro.serving.policies import (
+from repro.placement.breaker import BreakerConfig, BreakerState, CircuitBreaker
+from repro.placement.cache import PredictionCache, colocation_key
+from repro.placement.policies import (
     POLICY_NAMES,
     AdmissionPolicy,
     CMFeasiblePolicy,
@@ -41,15 +44,17 @@ from repro.serving.policies import (
     WorstFitPolicy,
     build_policy,
 )
-from repro.serving.telemetry import (
-    DEFAULT_LATENCY_BUCKETS,
-    Counter,
-    Gauge,
-    LatencyHistogram,
-    Telemetry,
-    merge_snapshots,
-    snapshot_to_prometheus,
+from repro.serving.admission import AdmissionController, AdmissionDecision, Mode
+from repro.serving.broker import PlacementRecord, RequestBroker, ServingReport
+from repro.serving.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultyCache,
+    FaultyPolicy,
+    FaultyPredictor,
+    InjectedFault,
 )
+from repro.serving.loadgen import TraceConfig, generate_trace
 
 __all__ = [
     "AdmissionController",

@@ -6,31 +6,32 @@ placement at every arrival — the role a cloud-gaming fleet's dispatcher
 plays, with GAugur's predictions on the hot path (paper Section 5,
 Algorithm 1's online setting).
 
-The pool bookkeeping deliberately mirrors
-:func:`repro.scheduling.dynamic.simulate_sessions` event for event (same
-server ordering, same departure handling), so a deterministic policy
-produces byte-identical placements here and there; the parity tests rely
-on this.  What the broker adds is the serving-side machinery the offline
-simulator has no use for: telemetry, caches, fallback accounting, a
-JSON-able report instead of ground-truth QoS accounting — and failure
-realism.  With a nonzero ``crash_rate``, servers crash at (seeded,
-deterministic) random before arrivals: a crashed server leaves the pool
-and its live sessions re-enter the admission queue for immediate
-re-placement, counted as ``server_crashes`` / ``sessions_evicted`` /
-``readmissions``.  With ``crash_rate`` zero the crash RNG is never
-consulted, preserving placement parity with the offline simulator.
+The pool bookkeeping is the shared
+:class:`repro.placement.FleetState` — the *same* implementation the
+offline simulator (:func:`repro.scheduling.dynamic.simulate_sessions`)
+advances, and every placement goes through
+:meth:`repro.placement.DecisionEngine.admit` — so a deterministic policy
+produces byte-identical placements here and there by construction; the
+parity tests pin this down.  What the broker adds is the serving-side
+machinery the offline simulator has no use for: telemetry, caches,
+fallback accounting, a JSON-able report instead of ground-truth QoS
+accounting — and failure realism.  With a nonzero ``crash_rate``,
+servers crash at (seeded, deterministic) random before arrivals: a
+crashed server leaves the pool and its live sessions re-enter the
+admission queue for immediate re-placement, counted as
+``server_crashes`` / ``sessions_evicted`` / ``readmissions``.  With
+``crash_rate`` zero the crash RNG is never consulted, preserving
+placement parity with the offline simulator.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.obs.tracing import Tracer
-from repro.scheduling.dynamic import Session
+from repro.placement.fleet import FleetState, Session
 from repro.serving.admission import AdmissionController
-from repro.serving.policies import Signature
 from repro.utils.rng import spawn_rng
 
 __all__ = ["PlacementRecord", "ServingReport", "RequestBroker"]
@@ -138,19 +139,17 @@ class RequestBroker:
         """Replay ``sessions`` (sorted by arrival) through the controller.
 
         Departures are applied before each arrival's decision, exactly as
-        in :func:`repro.scheduling.dynamic.simulate_sessions`; emptied
+        in :func:`repro.scheduling.dynamic.simulate_sessions` (both drive
+        the same :class:`~repro.placement.fleet.FleetState`); emptied
         servers leave the pool.  Crash events (if enabled) fire after the
         departures and before the arrival's own decision, and every
-        evicted live session is re-admitted immediately, oldest departure
-        first.  Returns the placement log plus a telemetry snapshot (with
-        cache statistics folded in) and the resilience summary.
+        evicted live session is re-admitted immediately, in admission
+        order (oldest member first).  Returns the placement log plus a
+        telemetry snapshot (with cache statistics folded in) and the
+        resilience summary.
         """
         ordered = sorted(sessions, key=lambda s: s.arrival)
-        servers: dict[int, list[Session]] = {}
-        departures: list[tuple[float, int, int]] = []  # (time, seq, server_id)
-        next_server_id = 0
-        seq = 0
-        peak = 0
+        fleet = FleetState()
         placements: list[PlacementRecord] = []
         readmissions: list[PlacementRecord] = []
         telemetry = self.controller.telemetry
@@ -160,64 +159,30 @@ class RequestBroker:
             else None
         )
 
-        def pop_departures(until: float) -> None:
-            while departures and departures[0][0] <= until:
-                _, _, server_id = heapq.heappop(departures)
-                members = servers.get(server_id)
-                if members is None:
-                    # Server already gone (emptied or crashed): a crashed
-                    # server's sessions were re-admitted under new ids and
-                    # carry fresh departure entries.
-                    continue
-                members.pop(0)
-                if not members:
-                    del servers[server_id]
-                telemetry.counter("departures").inc()
-
-        def signature(members: list[Session]) -> Signature:
-            return tuple(sorted((s.game, s.resolution) for s in members))
-
         def admit(session: Session, index: int, readmitted: bool) -> PlacementRecord:
-            nonlocal next_server_id, seq, peak
             with self.tracer.span(
                 "request", index=index, game=session.game, readmitted=readmitted
             ) as span:
-                sigs = [signature(m) for m in servers.values()]
-                ids = list(servers.keys())
-                decision = self.controller.decide(sigs, session)
-                if decision.server is None:
-                    server_id = next_server_id
-                    next_server_id += 1
-                    servers[server_id] = [session]
-                else:
-                    server_id = ids[decision.server]
-                    servers[server_id].append(session)
-                    # Keep departure order: earliest-ending session leaves first.
-                    servers[server_id].sort(key=lambda s: s.arrival + s.duration)
-                heapq.heappush(
-                    departures, (session.arrival + session.duration, seq, server_id)
-                )
-                seq += 1
-                peak = max(peak, len(servers))
-                telemetry.gauge("open_servers").set(len(servers))
-                span.set(server_id=server_id, policy=decision.policy)
+                outcome = self.controller.admit(fleet, session)
+                telemetry.gauge("open_servers").set(fleet.n_open)
+                span.set(server_id=outcome.server_id, policy=outcome.policy)
             return PlacementRecord(
                 index=index,
                 game=session.game,
-                choice=decision.server,
-                server_id=server_id,
-                policy=decision.policy,
-                fallback=decision.fallback,
+                choice=outcome.choice,
+                server_id=outcome.server_id,
+                policy=outcome.policy,
+                fallback=outcome.fallback,
                 readmitted=readmitted,
             )
 
         def maybe_crash(now: float, index: int) -> None:
-            if crash_rng is None or not servers:
+            if crash_rng is None or fleet.n_open == 0:
                 return
             if crash_rng.random() >= self.crash_rate:
                 return
-            victim = list(servers.keys())[int(crash_rng.integers(len(servers)))]
-            evicted = servers.pop(victim)
+            victim = fleet.server_ids()[int(crash_rng.integers(fleet.n_open))]
+            evicted = fleet.crash(victim)
             telemetry.counter("server_crashes").inc()
             telemetry.counter("sessions_evicted").inc(len(evicted))
             telemetry.event(
@@ -230,14 +195,18 @@ class RequestBroker:
             self.tracer.instant(
                 "server_crash", server_id=victim, evicted=len(evicted)
             )
-            # Evicted sessions re-enter the admission queue immediately,
-            # earliest-departing first (the order they were hosted in).
+            # Evicted sessions re-enter the admission queue immediately, in
+            # admission order (FleetState.crash sorts by member id), so the
+            # crash -> evict -> readmission trajectory is a pure function
+            # of the crash RNG under a fixed seed.
             for session in evicted:
                 telemetry.counter("readmissions").inc()
                 readmissions.append(admit(session, index, True))
 
         for index, session in enumerate(ordered):
-            pop_departures(session.arrival)
+            removed = fleet.pop_departures(session.arrival)
+            if removed:
+                telemetry.counter("departures").inc(removed)
             maybe_crash(session.arrival, index)
             placements.append(admit(session, index, False))
 
@@ -258,8 +227,8 @@ class RequestBroker:
         )
         return ServingReport(
             placements=placements,
-            servers_opened=next_server_id,
-            peak_servers=peak,
+            servers_opened=fleet.servers_opened,
+            peak_servers=fleet.peak,
             telemetry=snapshot,
             readmissions=readmissions,
             resilience=resilience,

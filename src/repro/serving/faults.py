@@ -28,7 +28,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.serving.telemetry import Telemetry
+from repro.obs.metrics import Telemetry
 from repro.utils.rng import spawn_rng
 
 __all__ = [

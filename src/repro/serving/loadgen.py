@@ -12,7 +12,8 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.games.resolution import PRESET_RESOLUTIONS, Resolution
-from repro.scheduling.dynamic import Session, generate_sessions
+from repro.placement.fleet import Session
+from repro.scheduling.dynamic import generate_sessions
 
 __all__ = ["TraceConfig", "generate_trace"]
 

@@ -1,33 +1,26 @@
-"""Pluggable admission policies behind one interface.
+"""Deprecated location: admission policies moved to :mod:`repro.placement.policies`.
 
-Every policy answers the same question the offline
-:mod:`repro.scheduling.dynamic` policies answer — given the signatures of
-the currently open servers and an arriving session, which server takes it
-(``None`` opens a fresh one)? — but the prediction-guided policies here
-route all model queries through a shared :class:`PredictionCache` and the
-predictor's batched API, so scanning a pool of candidate servers costs one
-model invocation, not one per candidate.
-
-Decision parity with the offline policies is a contract, not an accident:
-:class:`CMFeasiblePolicy` reproduces
-:func:`repro.scheduling.dynamic.cm_feasible_policy` placements exactly
-(same fullest-first greedy, same first-index tie-break, same CM floor),
-which the test suite asserts on seeded traces.
+The policy implementations are shared by the offline scheduling
+simulator and the online serving broker, so they now live in the
+placement core (:mod:`repro.placement.policies`), where both frontends
+dispatch them through :class:`repro.placement.DecisionEngine`.  This
+module re-exports the public surface so existing imports keep working
+for one release — update to ``from repro.placement.policies import ...``
+(or :mod:`repro.placement`).
 """
 
-from __future__ import annotations
-
-from collections.abc import Callable
-from typing import Protocol
-
-import numpy as np
-
-from repro.baselines.vbp import VBPJudge
-from repro.core.training import ColocationSpec
-from repro.games.resolution import Resolution
-from repro.hardware.server import DEFAULT_SERVER, ServerSpec
-from repro.obs.tracing import NOOP_TRACER
-from repro.serving.cache import PredictionCache, colocation_key
+from repro.placement.policies import (
+    POLICY_NAMES,
+    AdmissionPolicy,
+    CMFeasiblePolicy,
+    DedicatedPolicy,
+    MaxFPSPolicy,
+    OfflinePolicyAdapter,
+    Signature,
+    VBPFirstFitPolicy,
+    WorstFitPolicy,
+    build_policy,
+)
 
 __all__ = [
     "Signature",
@@ -35,320 +28,9 @@ __all__ = [
     "CMFeasiblePolicy",
     "MaxFPSPolicy",
     "WorstFitPolicy",
+    "VBPFirstFitPolicy",
     "DedicatedPolicy",
     "OfflinePolicyAdapter",
     "POLICY_NAMES",
     "build_policy",
 ]
-
-#: A server signature: sorted tuple of (game, resolution) entries.
-Signature = tuple[tuple[str, Resolution], ...]
-
-#: CLI-facing policy names accepted by :func:`build_policy`.
-POLICY_NAMES: tuple[str, ...] = ("cm-feasible", "max-fps", "worst-fit", "dedicated")
-
-
-class AdmissionPolicy(Protocol):
-    """The policy interface: pick a server index for a session, or ``None``.
-
-    ``session`` is anything with ``game`` and ``resolution`` attributes
-    (:class:`repro.scheduling.dynamic.Session`,
-    :class:`repro.scheduling.requests.GameRequest`, ...).
-    """
-
-    name: str
-
-    def select(self, signatures: list[Signature], session) -> int | None:
-        """Index into ``signatures`` to join, or ``None`` to open a server."""
-        ...
-
-
-def _candidates(
-    signatures: list[Signature], session, max_colocation: int
-) -> list[tuple[int, Signature]]:
-    """Non-full servers with the candidate signature after adding the session."""
-    entry = (session.game, session.resolution)
-    return [
-        (idx, tuple(sorted(sig + (entry,))))
-        for idx, sig in enumerate(signatures)
-        if len(sig) < max_colocation
-    ]
-
-
-class _InstrumentedPolicy:
-    """Shared observability plumbing for the prediction-guided policies.
-
-    The admission controller calls :meth:`instrument` once at
-    construction; the tracer/telemetry sinks then flow down into the
-    wrapped predictor so cache lookups, feature assembly and model
-    evaluation all land in the same per-request trace.
-    """
-
-    predictor = None
-    telemetry = None
-    tracer = NOOP_TRACER
-
-    def instrument(self, telemetry=None, tracer=None) -> None:
-        """Attach telemetry/tracer sinks, forwarding to the predictor."""
-        if telemetry is not None:
-            self.telemetry = telemetry
-        if tracer is not None:
-            self.tracer = tracer
-        forward = getattr(self.predictor, "instrument", None)
-        if callable(forward):
-            forward(telemetry=telemetry, tracer=tracer)
-
-    def _count(self, name: str, **labels) -> None:
-        if self.telemetry is not None:
-            self.telemetry.counter(name, **labels).inc()
-
-
-class CMFeasiblePolicy(_InstrumentedPolicy):
-    """CM-guided packing: fullest feasible server wins (paper Section 5.1).
-
-    Mirrors :func:`repro.scheduling.dynamic.cm_feasible_policy` exactly,
-    but resolves whole-colocation CM verdicts through the LRU cache and
-    evaluates all uncached candidates with one batched CM invocation.
-    """
-
-    name = "cm-feasible"
-
-    def __init__(
-        self,
-        predictor,
-        qos: float,
-        *,
-        cache: PredictionCache | None = None,
-        max_colocation: int = 4,
-        margin: float = 1.0,
-    ):
-        if margin < 1.0:
-            raise ValueError("margin must be >= 1.0")
-        self.predictor = predictor
-        self.qos = float(qos)
-        self.margin = float(margin)
-        self.max_colocation = int(max_colocation)
-        self.cache = cache if cache is not None else PredictionCache()
-
-    def _verdicts(self, candidate_sigs: list[Signature]) -> dict[Signature, bool]:
-        floor = self.qos * self.margin
-        verdicts: dict[Signature, bool] = {}
-        unknown: list[Signature] = []
-        with self.tracer.span("cache", policy=self.name) as span:
-            for sig in candidate_sigs:
-                if sig in verdicts or sig in unknown:
-                    continue
-                hit = self.cache.lookup(colocation_key(sig, floor), None)
-                if hit is not None:
-                    verdicts[sig] = hit
-                else:
-                    unknown.append(sig)
-            span.set(hits=len(verdicts), misses=len(unknown))
-        with self.tracer.span(
-            "predict", policy=self.name, batched=len(unknown), cached=not unknown
-        ):
-            if unknown:
-                feasible = self.predictor.colocations_feasible(
-                    [ColocationSpec(sig) for sig in unknown], floor
-                )
-                for sig, verdict in zip(unknown, feasible):
-                    verdict = bool(verdict)
-                    verdicts[sig] = verdict
-                    self.cache.put(colocation_key(sig, floor), verdict)
-            else:
-                self._count("predict_cache_shortcuts", policy=self.name)
-        return verdicts
-
-    def select(self, signatures: list[Signature], session) -> int | None:
-        """Fullest server the CM predicts stays feasible; ``None`` otherwise."""
-        candidates = _candidates(signatures, session, self.max_colocation)
-        verdicts = self._verdicts([sig for _, sig in candidates])
-        best, best_size = None, -1
-        for idx, candidate in candidates:
-            if verdicts[candidate] and len(signatures[idx]) > best_size:
-                best, best_size = idx, len(signatures[idx])
-        return best
-
-
-class MaxFPSPolicy(_InstrumentedPolicy):
-    """RM-guided placement: best predicted post-placement FPS (Section 5.2).
-
-    Among servers where the RM predicts every hosted game (including the
-    newcomer) still meets the QoS floor, picks the one with the highest
-    predicted total FPS; opens a new server when none qualifies.  Per-
-    candidate FPS vectors are cached and uncached candidates are evaluated
-    with one batched RM invocation.
-    """
-
-    name = "max-fps"
-
-    def __init__(
-        self,
-        predictor,
-        qos: float,
-        *,
-        cache: PredictionCache | None = None,
-        max_colocation: int = 4,
-    ):
-        self.predictor = predictor
-        self.qos = float(qos)
-        self.max_colocation = int(max_colocation)
-        self.cache = cache if cache is not None else PredictionCache()
-
-    def _fps(self, candidate_sigs: list[Signature]) -> dict[Signature, tuple]:
-        fps: dict[Signature, tuple] = {}
-        unknown: list[Signature] = []
-        with self.tracer.span("cache", policy=self.name) as span:
-            for sig in candidate_sigs:
-                if sig in fps:
-                    continue
-                hit = self.cache.lookup(colocation_key(sig), None)
-                if hit is not None:
-                    fps[sig] = hit
-                elif sig not in unknown:
-                    unknown.append(sig)
-            span.set(hits=len(fps), misses=len(unknown))
-        with self.tracer.span(
-            "predict", policy=self.name, batched=len(unknown), cached=not unknown
-        ):
-            if unknown:
-                batched = self.predictor.predict_fps_batch(
-                    [ColocationSpec(sig) for sig in unknown]
-                )
-                for sig, values in zip(unknown, batched):
-                    values = tuple(float(v) for v in values)
-                    fps[sig] = values
-                    self.cache.put(colocation_key(sig), values)
-            else:
-                self._count("predict_cache_shortcuts", policy=self.name)
-        return fps
-
-    def select(self, signatures: list[Signature], session) -> int | None:
-        """Feasible server maximizing predicted total FPS; ``None`` otherwise."""
-        candidates = _candidates(signatures, session, self.max_colocation)
-        fps = self._fps([sig for _, sig in candidates])
-        if not candidates:
-            return None
-        best, best_total = None, -np.inf
-        for idx, candidate in candidates:
-            values = fps[candidate]
-            if min(values) < self.qos:
-                continue
-            total = sum(values)
-            if total > best_total:
-                best, best_total = idx, total
-        return best
-
-
-class WorstFitPolicy:
-    """VBP worst-fit: the fitting server with the most remaining capacity.
-
-    The model-free conservative baseline — also the default fallback when
-    a prediction-guided policy cannot answer (missing profile, model
-    error).  Requires only demand vectors, no trained models.
-    """
-
-    name = "worst-fit"
-
-    def __init__(self, vbp: VBPJudge, *, max_colocation: int = 4):
-        self.vbp = vbp
-        self.max_colocation = int(max_colocation)
-
-    def select(self, signatures: list[Signature], session) -> int | None:
-        """Fitting server with maximal slack; ``None`` when nothing fits."""
-        best, best_slack = None, -np.inf
-        for idx, sig in enumerate(signatures):
-            if len(sig) >= self.max_colocation:
-                continue
-            spec = ColocationSpec(sig) if sig else None
-            if not self.vbp.fits_after_adding(spec, session.game, session.resolution):
-                continue
-            slack = self.vbp.remaining_capacity(spec)
-            if slack > best_slack:
-                best, best_slack = idx, slack
-        return best
-
-
-class DedicatedPolicy:
-    """No colocation: every session gets a fresh server."""
-
-    name = "dedicated"
-
-    def select(self, signatures: list[Signature], session) -> int | None:
-        """Always ``None``."""
-        return None
-
-
-class OfflinePolicyAdapter:
-    """Serve an offline :data:`repro.scheduling.dynamic.Policy` callable.
-
-    Lets the broker replay any ``(signatures, session) -> index | None``
-    function from :mod:`repro.scheduling.dynamic` unchanged — the bridge
-    used by the offline/online parity tests.
-    """
-
-    def __init__(self, fn: Callable, name: str = "offline"):
-        self._fn = fn
-        self.name = name
-
-    def select(self, signatures: list[Signature], session) -> int | None:
-        """Delegate to the wrapped offline policy callable."""
-        return self._fn(signatures, session)
-
-
-def build_policy(
-    name: str,
-    *,
-    predictor=None,
-    qos: float = 60.0,
-    cache: PredictionCache | None = None,
-    max_colocation: int = 4,
-    margin: float = 1.0,
-    server: ServerSpec = DEFAULT_SERVER,
-    injector=None,
-) -> tuple[AdmissionPolicy, AdmissionPolicy | None]:
-    """Build the named ``(policy, fallback)`` pair for the serving loop.
-
-    Prediction-guided policies (``cm-feasible``, ``max-fps``) fall back to
-    VBP worst-fit over the predictor's profile database; the model-free
-    policies need no fallback (the controller degrades to opening a new
-    server if they raise).
-
-    ``injector`` (a :class:`repro.serving.faults.FaultInjector`) wraps the
-    predictor and cache on the *primary* path so chaos runs inject errors,
-    latency spikes, stale answers, and corrupted predictions there; the
-    fallback path stays un-injected — it is the component the degraded
-    modes rely on, and it queries only the profile database.
-    """
-    if name not in POLICY_NAMES:
-        raise ValueError(f"unknown policy {name!r}; choose from {POLICY_NAMES}")
-    if name == "dedicated":
-        return DedicatedPolicy(), None
-    if predictor is None:
-        raise ValueError(f"policy {name!r} requires a predictor")
-    if injector is not None:
-        predictor = injector.wrap_predictor(predictor)
-        if cache is not None:
-            cache = injector.wrap_cache(cache)
-    worst_fit = WorstFitPolicy(
-        VBPJudge(predictor.db, server=server), max_colocation=max_colocation
-    )
-    if name == "worst-fit":
-        return worst_fit, None
-    if name == "cm-feasible":
-        if predictor.classifier is None:
-            raise ValueError("policy 'cm-feasible' needs a classification model")
-        policy = CMFeasiblePolicy(
-            predictor,
-            qos,
-            cache=cache,
-            max_colocation=max_colocation,
-            margin=margin,
-        )
-        return policy, worst_fit
-    if predictor.regressor is None:
-        raise ValueError("policy 'max-fps' needs a regression model")
-    return (
-        MaxFPSPolicy(predictor, qos, cache=cache, max_colocation=max_colocation),
-        worst_fit,
-    )

@@ -98,3 +98,57 @@ class TestPredictionCache:
         import json
 
         json.dumps(PredictionCache(4).stats())
+
+
+class TestInvalidateCanonicalKeys:
+    """Satellite of the cache-key contract: invalidation folds permutations.
+
+    Keys are canonical (sorted entries), so invalidating *any* permutation
+    of a co-runner set must evict the one entry every permutation shares.
+    """
+
+    ENTRIES = (("a", R1080), ("b", R720), ("c", R1080))
+
+    def permutations(self):
+        import itertools
+
+        return [tuple(p) for p in itertools.permutations(self.ENTRIES)]
+
+    def test_invalidating_any_permutation_evicts_all(self):
+        for perm in self.permutations():
+            cache = PredictionCache(8)
+            cache.put(colocation_key(self.ENTRIES, 60.0), True)
+            assert cache.invalidate(colocation_key(perm, 60.0))
+            for other in self.permutations():
+                assert cache.lookup(colocation_key(other, 60.0)) is None
+
+    def test_all_permutations_share_one_entry(self):
+        cache = PredictionCache(8)
+        for perm in self.permutations():
+            cache.put(colocation_key(perm, 60.0), True)
+        assert len(cache) == 1
+
+    def test_invalidate_counts_hits_and_misses(self):
+        cache = PredictionCache(8)
+        key = colocation_key(self.ENTRIES, 60.0)
+        cache.put(key, False)
+        assert cache.lookup(colocation_key(reversed(self.ENTRIES), 60.0)) is False
+        assert cache.invalidate(key)
+        assert cache.lookup(key) is None
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.invalidations == 1
+        assert cache.evictions == 0
+        assert cache.stats()["invalidations"] == 1
+
+    def test_invalidate_missing_key_is_uncounted(self):
+        cache = PredictionCache(8)
+        assert not cache.invalidate(colocation_key(self.ENTRIES, 60.0))
+        assert cache.invalidations == 0
+
+    def test_qos_floor_scopes_invalidation(self):
+        cache = PredictionCache(8)
+        cache.put(colocation_key(self.ENTRIES, 60.0), True)
+        cache.put(colocation_key(self.ENTRIES, 50.0), True)
+        assert cache.invalidate(colocation_key(self.ENTRIES, 60.0))
+        assert cache.lookup(colocation_key(self.ENTRIES, 50.0)) is True
