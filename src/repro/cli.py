@@ -8,16 +8,20 @@ Wraps the library's offline/online workflow in seven subcommands::
     python -m repro predict  --predictor predictor.json \\
                              --colocation "Dota2@1920x1080,H1Z1@1280x720" --qos 60
     python -m repro serve    --predictor predictor.json --requests 500 \\
-                             --policy cm-feasible [--trace-out trace.json]
+                             --policy cm-feasible [--trace-out trace.json] \\
+                             [--shards 4 --rebalance-interval 2048]
     python -m repro metrics  summary|diff|merge|export ...
     python -m repro experiments [--extensions] [--out results.md]
 
 Colocations are written ``Game@WxH`` entries joined with commas; the
 resolution suffix is optional and defaults to 1080p.  ``serve`` replays a
 synthetic arrival trace through the online serving broker and emits the
-telemetry snapshot (JSON) — see :mod:`repro.serving`; ``--trace-out``
-additionally records a per-request span trace (Chrome trace-event JSON
-by default, Perfetto-loadable).  ``metrics`` post-processes snapshot and
+telemetry snapshot (JSON) — see :mod:`repro.serving`; ``--shards N``
+routes the trace across N consistent-hash broker shards with optional
+occupancy rebalancing and emits the shard-labeled merged snapshot — see
+:mod:`repro.sharding`; ``--trace-out`` additionally records a
+per-request span trace (Chrome trace-event JSON by default,
+Perfetto-loadable).  ``metrics`` post-processes snapshot and
 trace files: human summaries, run-to-run regression diffs with
 ``--fail-on`` thresholds, bucket-wise snapshot merging, and exports to
 Prometheus text exposition or Chrome trace format — see
@@ -28,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.core import (
@@ -155,6 +160,9 @@ def _cmd_serve(args) -> int:
         generate_trace,
     )
 
+    if args.rebalance_interval and not args.shards:
+        print("--rebalance-interval requires --shards", file=sys.stderr)
+        return 2
     predictor = InterferencePredictor.load(args.predictor)
     trace_config = TraceConfig(
         n_requests=args.requests,
@@ -164,6 +172,8 @@ def _cmd_serve(args) -> int:
         seed=args.trace_seed,
     )
     sessions = generate_trace(predictor.db.names(), trace_config)
+    if args.shards:
+        return _serve_sharded(args, predictor, sessions, trace_config)
     telemetry = Telemetry()
     fault_config = FaultConfig(error_rate=args.fault_rate, seed=args.trace_seed)
     injector = (
@@ -223,6 +233,91 @@ def _cmd_serve(args) -> int:
         print(f"wrote {args.out}")
     else:
         print(text)
+    return 0
+
+
+def _shard_trace_path(base: str, shard_id: int) -> str:
+    stem, ext = os.path.splitext(base)
+    return f"{stem}.shard{shard_id}{ext}"
+
+
+def _serve_sharded(args, predictor, sessions, trace_config) -> int:
+    from repro.obs import Telemetry, Tracer
+    from repro.sharding import (
+        RebalanceConfig,
+        Rebalancer,
+        ShardConfig,
+        ShardedBroker,
+        build_shard_brokers,
+    )
+
+    tracing = args.trace_out is not None
+    telemetry = Telemetry()
+    tracer = Tracer(enabled=tracing)
+    deadline_s = (
+        args.decision_deadline_ms / 1000.0
+        if args.decision_deadline_ms is not None
+        else None
+    )
+    config = ShardConfig(
+        policy=args.policy,
+        qos=args.qos,
+        cache_size=args.cache_size,
+        max_colocation=args.max_colocation,
+        fault_rate=args.fault_rate,
+        crash_rate=args.crash_rate,
+        decision_deadline_s=deadline_s,
+        breaker_threshold=args.breaker_threshold,
+        seed=args.trace_seed,
+    )
+    shard_tracers = (
+        [Tracer(enabled=True) for _ in range(args.shards)] if tracing else None
+    )
+    brokers = build_shard_brokers(
+        predictor, args.shards, config, tracers=shard_tracers
+    )
+    rebalancer = (
+        Rebalancer(
+            RebalanceConfig(interval=args.rebalance_interval),
+            telemetry=telemetry,
+            tracer=tracer,
+        )
+        if args.rebalance_interval
+        else None
+    )
+    broker = ShardedBroker(
+        brokers, rebalancer=rebalancer, telemetry=telemetry, tracer=tracer
+    )
+    report = broker.run(sessions)
+    if tracing:
+        # Coordinator spans (route/migrate) go to the named file; each
+        # shard's request spans to a .shardN sibling (span ids are only
+        # unique within one tracer, so the files must not be merged).
+        exports = [(args.trace_out, tracer)] + [
+            (_shard_trace_path(args.trace_out, shard_id), shard_tracer)
+            for shard_id, shard_tracer in enumerate(shard_tracers)
+        ]
+        for path, t in exports:
+            if args.trace_format == "chrome":
+                t.export_chrome_trace(path)
+            else:
+                t.export_jsonl(path)
+        print(f"wrote {args.trace_out} (+{len(shard_tracers)} shard trace files)")
+    payload = report.to_dict()
+    payload["config"] = {
+        "policy": args.policy,
+        "qos": args.qos,
+        "cache_size": args.cache_size,
+        "max_colocation": args.max_colocation,
+        "fault_rate": args.fault_rate,
+        "crash_rate": args.crash_rate,
+        "decision_deadline_ms": args.decision_deadline_ms,
+        "breaker_threshold": args.breaker_threshold,
+        "shards": args.shards,
+        "rebalance_interval": args.rebalance_interval,
+        "trace": trace_config.to_dict(),
+    }
+    _write_or_print(json.dumps(payload, indent=2), args.out)
     return 0
 
 
@@ -402,10 +497,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="failure fraction over the breaker window that trips DEGRADED mode",
     )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="route arrivals by game signature across N independent broker "
+        "shards (0 = classic single-broker path; see repro.sharding)",
+    )
+    p.add_argument(
+        "--rebalance-interval",
+        type=int,
+        default=0,
+        help="with --shards: arrivals between occupancy rebalance checks; "
+        "hot shards migrate sessions to cold ones (0 disables migration)",
+    )
     p.add_argument("--out", help="write the JSON report here instead of stdout")
     p.add_argument(
         "--trace-out",
-        help="record per-request spans and write the trace file here",
+        help="record per-request spans and write the trace file here "
+        "(with --shards: plus one .shardN sibling file per shard)",
     )
     p.add_argument(
         "--trace-format",

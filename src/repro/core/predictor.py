@@ -67,6 +67,13 @@ class InterferencePredictor:
         self.regressor = regressor
         self.telemetry = None
         self.tracer = NOOP_TRACER
+        # (game, width, height) -> (profile, intensity values, solo FPS,
+        # sensitivity vector).  Profiles are immutable once loaded and
+        # these derivations are pure, so the memo never invalidates; it
+        # is bounded by games x preset resolutions.  Caching them turns
+        # the cold-decision feature assembly from per-candidate
+        # interpolation work into list indexing.
+        self._feature_cache: dict[tuple, tuple] = {}
 
     def instrument(self, telemetry=None, tracer=None) -> "InterferencePredictor":
         """Attach observability sinks (both optional, chainable).
@@ -100,16 +107,28 @@ class InterferencePredictor:
             raise MissingProfileError(missing)
 
     def _inputs(self, spec: ColocationSpec):
+        """Parallel per-entry lists: profiles, intensities, solo FPS,
+        sensitivity vectors — each block memoized per (game, resolution).
+        """
         self.validate_spec(spec)
-        profiles = [self.db.get(name) for name, _ in spec.entries]
-        intensities = [
-            profiles[i].intensity_at(res).values
-            for i, (_, res) in enumerate(spec.entries)
-        ]
-        solo = [
-            profiles[i].solo_fps_at(res) for i, (_, res) in enumerate(spec.entries)
-        ]
-        return profiles, intensities, solo
+        profiles, intensities, solo, sensitivities = [], [], [], []
+        for name, res in spec.entries:
+            key = (name, res.width, res.height)
+            block = self._feature_cache.get(key)
+            if block is None:
+                profile = self.db.get(name)
+                block = (
+                    profile,
+                    profile.intensity_at(res).values,
+                    profile.solo_fps_at(res),
+                    profile.sensitivity_vector(),
+                )
+                self._feature_cache[key] = block
+            profiles.append(block[0])
+            intensities.append(block[1])
+            solo.append(block[2])
+            sensitivities.append(block[3])
+        return profiles, intensities, solo, sensitivities
 
     def predict_degradations(self, spec: ColocationSpec) -> np.ndarray:
         """RM degradation ratio per entry of the colocation."""
@@ -117,16 +136,16 @@ class InterferencePredictor:
             raise RuntimeError("no regression model attached")
         if spec.size < 2:
             return np.ones(spec.size, dtype=float)
-        profiles, intensities, _ = self._inputs(spec)
+        _, intensities, _, sensitivities = self._inputs(spec)
         rows = []
         for i in range(spec.size):
             co = [intensities[j] for j in range(spec.size) if j != i]
-            rows.append(rm_feature_vector(profiles[i].sensitivity_vector(), co))
+            rows.append(rm_feature_vector(sensitivities[i], co))
         return self.regressor.predict_from_features(np.vstack(rows))
 
     def predict_fps(self, spec: ColocationSpec) -> np.ndarray:
         """Predicted colocated FPS per entry (RM degradation x solo FPS)."""
-        _, _, solo = self._inputs(spec)
+        _, _, solo, _ = self._inputs(spec)
         return self.predict_degradations(spec) * np.asarray(solo)
 
     def predict_feasible(self, spec: ColocationSpec, qos: float) -> np.ndarray:
@@ -135,17 +154,13 @@ class InterferencePredictor:
             raise RuntimeError("no classification model attached")
         if spec.size < 2:
             # A game running alone is feasible iff its solo FPS meets QoS.
-            _, _, solo = self._inputs(spec)
+            _, _, solo, _ = self._inputs(spec)
             return np.asarray([fps >= qos for fps in solo], dtype=bool)
-        profiles, intensities, solo = self._inputs(spec)
+        _, intensities, solo, sensitivities = self._inputs(spec)
         rows = []
         for i in range(spec.size):
             co = [intensities[j] for j in range(spec.size) if j != i]
-            rows.append(
-                cm_feature_vector(
-                    qos, solo[i], profiles[i].sensitivity_vector(), co
-                )
-            )
+            rows.append(cm_feature_vector(qos, solo[i], sensitivities[i], co))
         return self.classifier.predict_from_features(np.vstack(rows)).astype(bool)
 
     def colocation_feasible(self, spec: ColocationSpec, qos: float) -> bool:
@@ -172,12 +187,10 @@ class InterferencePredictor:
             for si, spec in enumerate(specs):
                 if spec.size < 2:
                     continue
-                profiles, intensities, _ = self._inputs(spec)
+                _, intensities, _, sensitivities = self._inputs(spec)
                 for i in range(spec.size):
                     co = [intensities[j] for j in range(spec.size) if j != i]
-                    rows.append(
-                        rm_feature_vector(profiles[i].sensitivity_vector(), co)
-                    )
+                    rows.append(rm_feature_vector(sensitivities[i], co))
                     slots.append((si, i))
         self._observe_stage("featurize", "rm", time.perf_counter() - start)
         if rows:
@@ -208,7 +221,7 @@ class InterferencePredictor:
         start = time.perf_counter()
         with self.tracer.span("featurize", model="cm", specs=len(specs)):
             for si, spec in enumerate(specs):
-                profiles, intensities, solo = self._inputs(spec)
+                _, intensities, solo, sensitivities = self._inputs(spec)
                 if spec.size < 2:
                     out.append(np.asarray([fps >= qos for fps in solo], dtype=bool))
                     continue
@@ -216,9 +229,7 @@ class InterferencePredictor:
                 for i in range(spec.size):
                     co = [intensities[j] for j in range(spec.size) if j != i]
                     rows.append(
-                        cm_feature_vector(
-                            qos, solo[i], profiles[i].sensitivity_vector(), co
-                        )
+                        cm_feature_vector(qos, solo[i], sensitivities[i], co)
                     )
                     slots.append((si, i))
         self._observe_stage("featurize", "cm", time.perf_counter() - start)
@@ -241,9 +252,13 @@ class InterferencePredictor:
         )
 
     def predict_batch(
-        self, specs: Sequence[ColocationSpec], qos: float | None = None
+        self,
+        specs: Sequence[ColocationSpec],
+        qos: float | None = None,
+        *,
+        models: Sequence[str] | None = None,
     ) -> list[dict]:
-        """Evaluate every attached model over ``specs`` in batched form.
+        """Evaluate the attached models over ``specs`` in batched form.
 
         Returns one dict per spec with keys ``"fps"`` / ``"degradations"``
         (present when a regressor is attached) and ``"feasible"`` (present
@@ -251,20 +266,31 @@ class InterferencePredictor:
         the corresponding single-spec calls exactly, but the whole batch
         costs one model invocation per attached model.
 
+        ``models`` restricts evaluation to a subset of ``("rm", "cm")``;
+        the default runs every attached model.  Single-model callers (the
+        CM admission policy scans a whole candidate pool per arrival)
+        use it to skip work whose outputs they would discard.
+
         When instrumented (:meth:`instrument`), the whole call is timed
         into ``predict_batch_s`` and the featurize/model-eval stages into
         ``predict_featurize_s`` / ``predict_model_eval_s``, giving the
         per-decision latency attribution the serving layer reports.
         """
         start = time.perf_counter()
+        run_rm = self.regressor is not None and (models is None or "rm" in models)
+        run_cm = (
+            self.classifier is not None
+            and qos is not None
+            and (models is None or "cm" in models)
+        )
         with self.tracer.span("predict_batch", specs=len(specs)):
             results: list[dict] = [{} for _ in specs]
-            if self.regressor is not None:
+            if run_rm:
                 degradations = self.predict_degradations_batch(specs)
                 for spec, result, deg in zip(specs, results, degradations):
                     result["degradations"] = deg
                     result["fps"] = deg * np.asarray(self._inputs(spec)[2])
-            if self.classifier is not None and qos is not None:
+            if run_cm:
                 for result, verdicts in zip(
                     results, self.predict_feasible_batch(specs, qos)
                 ):

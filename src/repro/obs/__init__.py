@@ -23,6 +23,7 @@ from repro.obs.metrics import (
     Gauge,
     LatencyHistogram,
     Telemetry,
+    label_snapshot,
 )
 from repro.obs.snapshots import (
     FailSpec,
@@ -51,6 +52,7 @@ __all__ = [
     "spans_to_chrome",
     "load_snapshot",
     "summarize_snapshot",
+    "label_snapshot",
     "merge_snapshots",
     "diff_snapshots",
     "render_diff",

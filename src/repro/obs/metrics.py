@@ -30,6 +30,7 @@ __all__ = [
     "Gauge",
     "LatencyHistogram",
     "Telemetry",
+    "label_snapshot",
     "merge_snapshots",
     "snapshot_to_prometheus",
     "DEFAULT_LATENCY_BUCKETS",
@@ -396,6 +397,68 @@ def _merge_labeled(kind: str, a: dict, b: dict) -> dict:
                 by_labels[key]["value"] += entry["value"]
         out[name] = [by_labels[key] for key in sorted(by_labels)]
     return out
+
+
+def label_snapshot(snapshot: dict, **labels) -> dict:
+    """Return ``snapshot`` re-labeled with ``labels`` on every metric.
+
+    The transformation the sharded serving tier applies before merging
+    per-shard snapshots: every *unlabeled* counter/gauge/histogram stays
+    at the top level (so :func:`merge_snapshots` still sums fleet-wide
+    totals) **and** gains a labeled child carrying exactly ``labels``
+    (e.g. ``shard="2"``); every existing labeled child gains the same
+    labels on top of its own (the new labels win on collision).  Events
+    gain the label fields verbatim.  Merging the labeled snapshots of N
+    shards therefore yields fleet totals at the top level plus intact
+    per-shard series under ``labeled`` — one snapshot, both views, and
+    the Prometheus exposition renders the per-shard series with the
+    ``shard`` label attached.
+
+    Keys outside the snapshot schema (e.g. a broker report's folded-in
+    ``caches``) are dropped, matching :func:`merge_snapshots`.
+    """
+    if not labels:
+        raise ValueError("label_snapshot needs at least one label")
+    clean = {str(k): str(v) for k, v in labels.items()}
+
+    def relabel_children(children: list) -> list:
+        out = []
+        for entry in children:
+            entry = dict(entry)
+            entry["labels"] = {**entry["labels"], **clean}
+            out.append(entry)
+        return out
+
+    labeled_in = snapshot.get("labeled", {})
+    labeled = {
+        kind: {
+            name: relabel_children(children)
+            for name, children in labeled_in.get(kind, {}).items()
+        }
+        for kind in ("counters", "gauges", "histograms")
+    }
+    for name, value in snapshot.get("counters", {}).items():
+        labeled["counters"].setdefault(name, []).append(
+            {"labels": dict(clean), "value": value}
+        )
+    for name, value in snapshot.get("gauges", {}).items():
+        labeled["gauges"].setdefault(name, []).append(
+            {"labels": dict(clean), "value": value}
+        )
+    for name, data in snapshot.get("histograms", {}).items():
+        labeled["histograms"].setdefault(name, []).append(
+            {"labels": dict(clean), **data}
+        )
+    return {
+        "counters": dict(snapshot.get("counters", {})),
+        "gauges": dict(snapshot.get("gauges", {})),
+        "histograms": {
+            name: dict(data) for name, data in snapshot.get("histograms", {}).items()
+        },
+        "labeled": labeled,
+        "events": [{**event, **labels} for event in snapshot.get("events", ())],
+        "events_dropped": int(snapshot.get("events_dropped", 0)),
+    }
 
 
 def merge_snapshots(a: dict, b: dict) -> dict:

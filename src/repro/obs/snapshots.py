@@ -3,7 +3,7 @@
 Loads telemetry snapshots (bare :meth:`Telemetry.snapshot` dicts, full
 ``repro serve`` reports, or benchmark result files — anything with a
 recognizable snapshot inside), summarizes them for humans, merges them
-(:func:`repro.serving.telemetry.merge_snapshots`), and diffs two runs
+(:func:`repro.obs.metrics.merge_snapshots`), and diffs two runs
 with configurable regression thresholds so a perf gate is one CLI call.
 
 Also home to :func:`validate_prometheus`, a tiny line-format checker for

@@ -70,6 +70,7 @@ class FleetState:
         self._next_server_id = 0
         self._next_member_id = 0
         self._seq = 0
+        self._n_live = 0
         self.peak = 0
 
     # -- read side ------------------------------------------------------
@@ -78,6 +79,20 @@ class FleetState:
     def n_open(self) -> int:
         """Number of currently open (non-empty) servers."""
         return len(self._servers)
+
+    @property
+    def n_live(self) -> int:
+        """Live (placed, not yet departed or evicted) sessions fleet-wide.
+
+        Maintained incrementally so occupancy checks — the sharded
+        tier's rebalancer compares this across shards on every cycle —
+        stay O(1) regardless of pool size.
+        """
+        return self._n_live
+
+    def loads(self) -> dict[int, int]:
+        """Member count per open server, in pool (decision-index) order."""
+        return {sid: len(members) for sid, members in self._servers.items()}
 
     @property
     def servers_opened(self) -> int:
@@ -124,6 +139,7 @@ class FleetState:
             hosted.sort(key=lambda m: m[1].departure)
         heapq.heappush(self._departures, (session.departure, self._seq, server_id))
         self._seq += 1
+        self._n_live += 1
         self.peak = max(self.peak, len(self._servers))
         return server_id
 
@@ -152,6 +168,7 @@ class FleetState:
             if not members:
                 del self._servers[server_id]
             removed += 1
+        self._n_live -= removed
         return removed
 
     def crash(self, server_id: int) -> list[Session]:
@@ -165,4 +182,5 @@ class FleetState:
         are skipped by :meth:`pop_departures`.
         """
         members = self._servers.pop(server_id)
+        self._n_live -= len(members)
         return [s for _, s in sorted(members, key=lambda m: m[0])]

@@ -10,10 +10,11 @@ through :class:`repro.placement.DecisionEngine`, so offline/online
 decision parity holds by construction rather than by duplicated code.
 
 The prediction-guided policies route all model queries through a shared
-:class:`PredictionCache` and the predictor's batched API, so scanning a
-pool of candidate servers costs one model invocation, not one per
-candidate.  Predictors that lack the batched ``colocations_feasible``
-endpoint are still served via per-candidate calls.
+:class:`PredictionCache` and the predictor's batched API — one
+``predict_batch`` call scores every uncached candidate for an arrival —
+so scanning a pool of candidate servers costs one model invocation, not
+one per candidate.  Predictors that lack the batched endpoints are
+still served via per-candidate calls.
 """
 
 from __future__ import annotations
@@ -114,7 +115,8 @@ class CMFeasiblePolicy(_InstrumentedPolicy):
     :func:`repro.scheduling.dynamic.cm_feasible_policy` (offline) and the
     serving broker's ``cm-feasible`` policy (online): whole-colocation CM
     verdicts resolve through the LRU cache and all uncached candidates
-    are evaluated with one batched CM invocation.  ``margin`` scales the
+    are scored with a single ``predict_batch`` call (CM only — the RM is
+    skipped).  ``margin`` scales the
     floor the CM is queried with: a value of 1.1 demands 10% headroom
     above the player-facing QoS, trading some consolidation for fewer
     violations when the CM's boundary is noisy — the knob the Section 7
@@ -141,10 +143,18 @@ class CMFeasiblePolicy(_InstrumentedPolicy):
         self.cache = cache if cache is not None else PredictionCache()
 
     def _query(self, specs: list[ColocationSpec], floor: float) -> list[bool]:
-        batched = getattr(self.predictor, "colocations_feasible", None)
+        batched = getattr(self.predictor, "predict_batch", None)
         if batched is not None:
-            return batched(specs, floor)
-        # Predictors without the batched endpoint (duck-typed baselines)
+            # One predict_batch call scores every uncached candidate:
+            # feature rows for the whole pool hit the CM in a single
+            # model invocation (models=("cm",) skips the RM, whose
+            # output this policy would discard).
+            results = batched(specs, qos=floor, models=("cm",))
+            return [bool(np.all(result["feasible"])) for result in results]
+        legacy = getattr(self.predictor, "colocations_feasible", None)
+        if legacy is not None:
+            return legacy(specs, floor)
+        # Predictors without any batched endpoint (duck-typed baselines)
         # still answer, one colocation at a time.
         return [self.predictor.colocation_feasible(spec, floor) for spec in specs]
 

@@ -22,6 +22,19 @@ admission queue for immediate re-placement, counted as
 ``server_crashes`` / ``sessions_evicted`` / ``readmissions``.  With
 ``crash_rate`` zero the crash RNG is never consulted, preserving
 placement parity with the offline simulator.
+
+The broker runs in two modes.  :meth:`run` is the one-shot replay loop
+every existing caller uses.  Underneath it sits an incremental API —
+:meth:`start` / :meth:`submit` / :meth:`finish` — that external drivers
+(the sharded tier in :mod:`repro.sharding`) use to feed arrivals one at
+a time, interleave control actions between them, and collect the report
+when the stream ends.  ``run`` is exactly ``start`` + one ``submit`` per
+arrival + ``finish``, so both modes share one code path and one
+telemetry sequence.  Session *migration* (the sharded tier's rebalancer
+moving load between brokers) reuses the crash→evict→readmit machinery as
+its transport but is counted distinctly: ``migrations`` /
+``sessions_migrated_out`` / ``sessions_migrated_in``, never
+``server_crashes``.
 """
 
 from __future__ import annotations
@@ -45,7 +58,9 @@ class PlacementRecord:
     at decision time (``None`` = new server) — directly comparable with an
     offline policy's return value; ``server_id`` is the stable identifier
     of the server that ended up hosting the session.  ``readmitted``
-    marks a session displaced by a server crash and placed again.
+    marks a session displaced by a server crash and placed again;
+    ``migrated`` marks a session moved in from another fleet shard by
+    the rebalancer.
     """
 
     index: int
@@ -55,6 +70,7 @@ class PlacementRecord:
     policy: str
     fallback: bool
     readmitted: bool = False
+    migrated: bool = False
 
     def to_dict(self) -> dict:
         """JSON-able form."""
@@ -66,6 +82,7 @@ class PlacementRecord:
             "policy": self.policy,
             "fallback": self.fallback,
             "readmitted": self.readmitted,
+            "migrated": self.migrated,
         }
 
 
@@ -79,11 +96,17 @@ class ServingReport:
     telemetry: dict = field(default_factory=dict)
     readmissions: list[PlacementRecord] = field(default_factory=list)
     resilience: dict = field(default_factory=dict)
+    migrations: list[PlacementRecord] = field(default_factory=list)
+    n_arrivals: int = 0
 
     @property
     def n_sessions(self) -> int:
-        """Sessions replayed (original arrivals, not re-admissions)."""
-        return len(self.placements)
+        """Sessions replayed (original arrivals, not re-admissions).
+
+        Falls back to the arrival count when the broker ran with
+        ``keep_records=False`` and retained no per-session records.
+        """
+        return len(self.placements) if self.placements else self.n_arrivals
 
     def choices(self) -> list[int | None]:
         """Per-arrival policy decisions (index into open servers or None)."""
@@ -101,6 +124,7 @@ class ServingReport:
             "peak_servers": self.peak_servers,
             "placements": [p.to_dict() for p in self.placements],
             "readmissions": [p.to_dict() for p in self.readmissions],
+            "migrations": [p.to_dict() for p in self.migrations],
             "resilience": self.resilience,
             "telemetry": self.telemetry,
         }
@@ -113,6 +137,11 @@ class RequestBroker:
     crashes just before the arrival is handled; crashes are drawn from a
     dedicated substream of ``crash_seed`` so a chaos run is exactly
     reproducible and a zero rate never touches the RNG.
+
+    ``keep_records=False`` drops the per-session
+    :class:`PlacementRecord` lists (the counters and histograms still
+    accumulate) — the memory valve the million-session scale benchmarks
+    need; everything per-arrival is then only in telemetry.
     """
 
     def __init__(
@@ -122,94 +151,69 @@ class RequestBroker:
         crash_rate: float = 0.0,
         crash_seed: int = 0,
         tracer: Tracer | None = None,
+        keep_records: bool = True,
     ):
         if not 0.0 <= crash_rate <= 1.0:
             raise ValueError(f"crash_rate must be in [0, 1], got {crash_rate}")
         self.controller = controller
         self.crash_rate = float(crash_rate)
         self.crash_seed = int(crash_seed)
+        self.keep_records = bool(keep_records)
         # One `tracer=` argument in either place instruments the whole
         # request path: an explicit tracer here is pushed down into the
         # controller (and through it, the policies and predictor).
         if tracer is not None:
             controller.set_tracer(tracer)
         self.tracer = controller.tracer
+        self.fleet = FleetState()
+        self._placements: list[PlacementRecord] = []
+        self._readmissions: list[PlacementRecord] = []
+        self._migrations: list[PlacementRecord] = []
+        self._n_arrivals = 0
+        self._crash_rng = None
 
-    def run(self, sessions: Sequence[Session]) -> ServingReport:
-        """Replay ``sessions`` (sorted by arrival) through the controller.
+    # -- incremental API ------------------------------------------------
 
-        Departures are applied before each arrival's decision, exactly as
-        in :func:`repro.scheduling.dynamic.simulate_sessions` (both drive
-        the same :class:`~repro.placement.fleet.FleetState`); emptied
-        servers leave the pool.  Crash events (if enabled) fire after the
-        departures and before the arrival's own decision, and every
-        evicted live session is re-admitted immediately, in admission
-        order (oldest member first).  Returns the placement log plus a
-        telemetry snapshot (with cache statistics folded in) and the
-        resilience summary.
+    def start(self) -> "RequestBroker":
+        """Reset per-run state; the first step of every replay.
+
+        External drivers (:class:`repro.sharding.ShardedBroker`) call
+        this once, then :meth:`submit` arrivals in nondecreasing arrival
+        order, then :meth:`finish`.  :meth:`run` does exactly this over a
+        sorted trace.
         """
-        ordered = sorted(sessions, key=lambda s: s.arrival)
-        fleet = FleetState()
-        placements: list[PlacementRecord] = []
-        readmissions: list[PlacementRecord] = []
-        telemetry = self.controller.telemetry
-        crash_rng = (
+        self.fleet = FleetState()
+        self._placements = []
+        self._readmissions = []
+        self._migrations = []
+        self._n_arrivals = 0
+        self._crash_rng = (
             spawn_rng(self.crash_seed, "server-crashes")
             if self.crash_rate > 0
             else None
         )
+        return self
 
-        def admit(session: Session, index: int, readmitted: bool) -> PlacementRecord:
-            with self.tracer.span(
-                "request", index=index, game=session.game, readmitted=readmitted
-            ) as span:
-                outcome = self.controller.admit(fleet, session)
-                telemetry.gauge("open_servers").set(fleet.n_open)
-                span.set(server_id=outcome.server_id, policy=outcome.policy)
-            return PlacementRecord(
-                index=index,
-                game=session.game,
-                choice=outcome.choice,
-                server_id=outcome.server_id,
-                policy=outcome.policy,
-                fallback=outcome.fallback,
-                readmitted=readmitted,
-            )
+    def submit(self, session: Session, index: int) -> PlacementRecord:
+        """Handle one arrival: departures first, then crashes, then admit.
 
-        def maybe_crash(now: float, index: int) -> None:
-            if crash_rng is None or fleet.n_open == 0:
-                return
-            if crash_rng.random() >= self.crash_rate:
-                return
-            victim = fleet.server_ids()[int(crash_rng.integers(fleet.n_open))]
-            evicted = fleet.crash(victim)
-            telemetry.counter("server_crashes").inc()
-            telemetry.counter("sessions_evicted").inc(len(evicted))
-            telemetry.event(
-                "server_crash",
-                time=now,
-                arrival_index=index,
-                server_id=victim,
-                evicted=len(evicted),
-            )
-            self.tracer.instant(
-                "server_crash", server_id=victim, evicted=len(evicted)
-            )
-            # Evicted sessions re-enter the admission queue immediately, in
-            # admission order (FleetState.crash sorts by member id), so the
-            # crash -> evict -> readmission trajectory is a pure function
-            # of the crash RNG under a fixed seed.
-            for session in evicted:
-                telemetry.counter("readmissions").inc()
-                readmissions.append(admit(session, index, True))
+        ``index`` is the caller's arrival index (global across shards in
+        the sharded tier) — it labels records, events and spans but never
+        influences a decision.
+        """
+        removed = self.fleet.pop_departures(session.arrival)
+        if removed:
+            self.controller.telemetry.counter("departures").inc(removed)
+        self._maybe_crash(session.arrival, index)
+        record = self._admit(session, index, readmitted=False)
+        self._n_arrivals += 1
+        if self.keep_records:
+            self._placements.append(record)
+        return record
 
-        for index, session in enumerate(ordered):
-            removed = fleet.pop_departures(session.arrival)
-            if removed:
-                telemetry.counter("departures").inc(removed)
-            maybe_crash(session.arrival, index)
-            placements.append(admit(session, index, False))
-
+    def finish(self) -> ServingReport:
+        """Snapshot telemetry and assemble the :class:`ServingReport`."""
+        telemetry = self.controller.telemetry
         snapshot = telemetry.snapshot()
         snapshot["caches"] = {
             name: cache.stats()
@@ -226,10 +230,133 @@ class RequestBroker:
             }
         )
         return ServingReport(
-            placements=placements,
-            servers_opened=fleet.servers_opened,
-            peak_servers=fleet.peak,
+            placements=self._placements,
+            servers_opened=self.fleet.servers_opened,
+            peak_servers=self.fleet.peak,
             telemetry=snapshot,
-            readmissions=readmissions,
+            readmissions=self._readmissions,
             resilience=resilience,
+            migrations=self._migrations,
+            n_arrivals=self._n_arrivals,
         )
+
+    # -- migration hooks (driven by repro.sharding.Rebalancer) ----------
+
+    def evict_for_migration(self, server_id: int, *, now: float, index: int) -> list[Session]:
+        """Evict ``server_id`` wholesale as the *source* side of a migration.
+
+        Reuses the crash→evict primitive (:meth:`FleetState.crash`, so
+        evicted sessions come back in admission order) but counts
+        ``migrations`` / ``sessions_migrated_out`` — an operator must be
+        able to tell planned moves from failures at a glance.
+        """
+        evicted = self.fleet.crash(server_id)
+        t = self.controller.telemetry
+        t.counter("migrations").inc()
+        t.counter("sessions_migrated_out").inc(len(evicted))
+        t.gauge("open_servers").set(self.fleet.n_open)
+        t.event(
+            "migration_out",
+            time=now,
+            arrival_index=index,
+            server_id=server_id,
+            sessions=len(evicted),
+        )
+        return evicted
+
+    def admit_migrations(
+        self, sessions: Sequence[Session], index: int
+    ) -> list[PlacementRecord]:
+        """Admit sessions arriving from another shard (destination side).
+
+        Each placement is counted as ``sessions_migrated_in`` and
+        recorded with ``migrated=True`` — the readmission path's twin,
+        with its own ledger.
+        """
+        t = self.controller.telemetry
+        records = []
+        for session in sessions:
+            t.counter("sessions_migrated_in").inc()
+            record = self._admit(session, index, readmitted=False, migrated=True)
+            records.append(record)
+            if self.keep_records:
+                self._migrations.append(record)
+        if sessions:
+            t.event(
+                "migration_in", arrival_index=index, sessions=len(sessions)
+            )
+        return records
+
+    # -- internals ------------------------------------------------------
+
+    def _admit(
+        self, session: Session, index: int, *, readmitted: bool, migrated: bool = False
+    ) -> PlacementRecord:
+        attributes = {"index": index, "game": session.game, "readmitted": readmitted}
+        if migrated:
+            attributes["migrated"] = True
+        with self.tracer.span("request", **attributes) as span:
+            outcome = self.controller.admit(self.fleet, session)
+            self.controller.telemetry.gauge("open_servers").set(self.fleet.n_open)
+            span.set(server_id=outcome.server_id, policy=outcome.policy)
+        return PlacementRecord(
+            index=index,
+            game=session.game,
+            choice=outcome.choice,
+            server_id=outcome.server_id,
+            policy=outcome.policy,
+            fallback=outcome.fallback,
+            readmitted=readmitted,
+            migrated=migrated,
+        )
+
+    def _maybe_crash(self, now: float, index: int) -> None:
+        if self._crash_rng is None or self.fleet.n_open == 0:
+            return
+        if self._crash_rng.random() >= self.crash_rate:
+            return
+        telemetry = self.controller.telemetry
+        victim = self.fleet.server_ids()[int(self._crash_rng.integers(self.fleet.n_open))]
+        evicted = self.fleet.crash(victim)
+        telemetry.counter("server_crashes").inc()
+        telemetry.counter("sessions_evicted").inc(len(evicted))
+        telemetry.event(
+            "server_crash",
+            time=now,
+            arrival_index=index,
+            server_id=victim,
+            evicted=len(evicted),
+        )
+        self.tracer.instant(
+            "server_crash", server_id=victim, evicted=len(evicted)
+        )
+        # Evicted sessions re-enter the admission queue immediately, in
+        # admission order (FleetState.crash sorts by member id), so the
+        # crash -> evict -> readmission trajectory is a pure function
+        # of the crash RNG under a fixed seed.
+        for session in evicted:
+            telemetry.counter("readmissions").inc()
+            record = self._admit(session, index, readmitted=True)
+            if self.keep_records:
+                self._readmissions.append(record)
+
+    # -- one-shot API ---------------------------------------------------
+
+    def run(self, sessions: Sequence[Session]) -> ServingReport:
+        """Replay ``sessions`` (sorted by arrival) through the controller.
+
+        Departures are applied before each arrival's decision, exactly as
+        in :func:`repro.scheduling.dynamic.simulate_sessions` (both drive
+        the same :class:`~repro.placement.fleet.FleetState`); emptied
+        servers leave the pool.  Crash events (if enabled) fire after the
+        departures and before the arrival's own decision, and every
+        evicted live session is re-admitted immediately, in admission
+        order (oldest member first).  Returns the placement log plus a
+        telemetry snapshot (with cache statistics folded in) and the
+        resilience summary.
+        """
+        ordered = sorted(sessions, key=lambda s: s.arrival)
+        self.start()
+        for index, session in enumerate(ordered):
+            self.submit(session, index)
+        return self.finish()

@@ -139,6 +139,8 @@ def _corrupt(value):
         return -abs(value) - 1.0
     if isinstance(value, (tuple, list)):
         return type(value)(_corrupt(v) for v in value)
+    if isinstance(value, dict):  # predict_batch result entries
+        return {k: _corrupt(v) for k, v in value.items()}
     if hasattr(value, "tolist"):  # numpy arrays and scalars
         return _corrupt(value.tolist())
     return value
@@ -172,7 +174,7 @@ class FaultyPredictor:
     Non-prediction attributes (``db``, ``classifier``, ``regressor``,
     ``validate_spec``, ...) delegate untouched, so the proxy drops into
     any place an :class:`repro.core.InterferencePredictor` fits —
-    including :func:`repro.serving.policies.build_policy`.
+    including :func:`repro.placement.policies.build_policy`.
     """
 
     _WRAPPED = (

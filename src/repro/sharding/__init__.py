@@ -1,0 +1,35 @@
+"""Sharded multi-broker serving: route, drain, rebalance, merge.
+
+The scale-out tier above the single-fleet serving stack
+(:mod:`repro.serving`).  A consistent-hash ring (:class:`HashRing`)
+routes sessions by canonical game signature (:class:`ShardRouter`) onto
+N independent broker shards (:class:`ShardedBroker` +
+:func:`build_shard_brokers`), and an occupancy-driven
+:class:`Rebalancer` migrates sessions off hot shards between drain
+chunks.  Per-shard telemetry merges into one shard-labeled snapshot;
+``repro serve --shards N`` is the CLI frontend and
+``benchmarks/bench_sharded.py`` the scale proof.
+"""
+
+from repro.sharding.broker import (
+    ShardConfig,
+    ShardedBroker,
+    ShardedReport,
+    build_shard_brokers,
+)
+from repro.sharding.rebalance import RebalanceConfig, Rebalancer
+from repro.sharding.ring import HashRing, stable_hash
+from repro.sharding.router import ShardRouter, routing_key
+
+__all__ = [
+    "HashRing",
+    "stable_hash",
+    "ShardRouter",
+    "routing_key",
+    "ShardConfig",
+    "ShardedBroker",
+    "ShardedReport",
+    "build_shard_brokers",
+    "RebalanceConfig",
+    "Rebalancer",
+]

@@ -333,3 +333,117 @@ class TestUserInputErrors:
         )
         assert rc == 1
         assert "error:" in capsys.readouterr().err
+
+
+def _strip_wall_clock(snapshot):
+    snapshot = json.loads(json.dumps(snapshot))
+    snapshot.pop("histograms", None)
+    snapshot.pop("caches", None)  # hit *rates* ride wall-clock-free, but
+    if "labeled" in snapshot:     # keep the comparison to logical state
+        snapshot["labeled"].pop("histograms", None)
+    return snapshot
+
+
+class TestServeSharded:
+    """The ``--shards`` / ``--rebalance-interval`` serving flags."""
+
+    def test_rebalance_interval_requires_shards(self, predictor_path, capsys):
+        rc = main(
+            [
+                "serve",
+                "--predictor",
+                predictor_path,
+                "--rebalance-interval",
+                "64",
+            ]
+        )
+        assert rc == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_shards_one_matches_unsharded(self, predictor_path, capsys):
+        argv = [
+            "serve",
+            "--predictor",
+            predictor_path,
+            "--requests",
+            "120",
+            "--arrival-rate",
+            "4.0",
+            "--trace-seed",
+            "3",
+        ]
+        assert main(argv) == 0
+        unsharded = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--shards", "1"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+
+        assert sharded["n_shards"] == 1
+        assert sharded["n_sessions"] == unsharded["n_sessions"]
+        (shard,) = sharded["shards"]
+        assert _strip_wall_clock(shard["telemetry"]) == _strip_wall_clock(
+            unsharded["telemetry"]
+        )
+        assert shard["placements"] == unsharded["placements"]
+
+    def test_sharded_run_with_rebalancing(self, predictor_path, capsys):
+        rc = main(
+            [
+                "serve",
+                "--predictor",
+                predictor_path,
+                "--requests",
+                "200",
+                "--arrival-rate",
+                "4.0",
+                "--mixed-resolutions",
+                "--trace-seed",
+                "3",
+                "--shards",
+                "4",
+                "--rebalance-interval",
+                "32",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_shards"] == 4
+        assert sum(payload["shard_sessions"]) == 200
+        assert payload["config"]["shards"] == 4
+        assert payload["config"]["rebalance_interval"] == 32
+        assert payload["coordinator"]["counters"]["routed"] == 200
+        assert payload["telemetry"]["counters"].get("policy_errors", 0) == 0
+
+    def test_sharded_trace_files(self, predictor_path, tmp_path, capsys):
+        trace_out = tmp_path / "trace.jsonl"
+        rc = main(
+            [
+                "serve",
+                "--predictor",
+                predictor_path,
+                "--requests",
+                "60",
+                "--shards",
+                "2",
+                "--trace-out",
+                str(trace_out),
+                "--trace-format",
+                "jsonl",
+                "--out",
+                str(tmp_path / "report.json"),
+            ]
+        )
+        assert rc == 0
+        # Coordinator spans in the named file, shard spans in siblings.
+        coordinator_spans = [
+            json.loads(line) for line in trace_out.read_text().splitlines() if line
+        ]
+        assert {s["name"] for s in coordinator_spans} == {"route"}
+        for shard_id in range(2):
+            shard_file = tmp_path / f"trace.shard{shard_id}.jsonl"
+            assert shard_file.exists()
+            names = {
+                json.loads(line)["name"]
+                for line in shard_file.read_text().splitlines()
+                if line
+            }
+            assert "request" in names

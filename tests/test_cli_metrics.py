@@ -6,7 +6,7 @@ import pytest
 
 from repro.cli import main
 from repro.obs import validate_prometheus
-from repro.serving.telemetry import Telemetry
+from repro.obs.metrics import Telemetry
 
 
 def _snapshot(observations):

@@ -16,7 +16,7 @@ from repro.obs import (
     summarize_snapshot,
     validate_prometheus,
 )
-from repro.serving.telemetry import Telemetry
+from repro.obs.metrics import Telemetry
 
 
 def _record(telemetry, observations):

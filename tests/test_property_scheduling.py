@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro.core.training import ColocationSpec
 from repro.games.resolution import Resolution
 from repro.scheduling import GameRequest, pack_requests
-from repro.scheduling.assignment import assign_max_fps
+from repro.placement.assignment import assign_max_fps
 
 R = Resolution(1920, 1080)
 GAMES = ["a", "b", "c", "d", "e"]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.games.resolution import Resolution
-from repro.serving.cache import PredictionCache, colocation_key
+from repro.placement.cache import PredictionCache, colocation_key
 
 R1080 = Resolution(1920, 1080)
 R720 = Resolution(1280, 720)

@@ -5,7 +5,7 @@ import math
 
 import pytest
 
-from repro.serving.telemetry import (
+from repro.obs.metrics import (
     MAX_EVENTS,
     Counter,
     Gauge,

@@ -1,0 +1,217 @@
+"""Property tests for the consistent-hash ring and the shard router.
+
+The two load-bearing guarantees of the routing substrate, pinned as
+properties rather than examples:
+
+* **Balance** — at 10k keys no shard owns more than twice the mean.
+* **Minimal remapping** — adding or removing one shard moves fewer than
+  ``2/N`` of the keys, and every moved key moves *because of* the
+  topology change (to the new node, or off the removed one) — never a
+  gratuitous reshuffle of bystanders.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games.resolution import Resolution
+from repro.placement.fleet import Session
+from repro.sharding import HashRing, ShardRouter, routing_key, stable_hash
+
+KEYS_10K = [f"key-{i}" for i in range(10_000)]
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", "b", 3) == stable_hash("a", "b", 3)
+
+    def test_64_bit_range(self):
+        for key in ("", "x", 12345, ("t", "u")):
+            assert 0 <= stable_hash(key) < 2**64
+
+    def test_separator_is_unambiguous(self):
+        # Without a separator these two would collide byte-for-byte.
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+        assert stable_hash("a", "") != stable_hash("a")
+
+    def test_part_order_matters(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+
+class TestRingMembership:
+    def test_nodes_sorted(self):
+        ring = HashRing([3, 1, 2])
+        assert ring.nodes == [1, 2, 3]
+        assert len(ring) == 3
+        assert 2 in ring
+        assert 7 not in ring
+
+    def test_add_duplicate_rejected(self):
+        ring = HashRing([0, 1])
+        with pytest.raises(ValueError, match="already"):
+            ring.add(1)
+
+    def test_remove_missing_rejected(self):
+        ring = HashRing([0, 1])
+        with pytest.raises(KeyError, match="not on the ring"):
+            ring.remove(9)
+
+    def test_empty_lookup_rejected(self):
+        with pytest.raises(LookupError, match="empty"):
+            HashRing().lookup("key")
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing([0], vnodes=0)
+
+    def test_layout_is_process_stable(self):
+        # Two independently built rings agree on every assignment —
+        # the property that makes sharded replays machine-portable.
+        a = HashRing(range(5)).assignments(KEYS_10K[:500])
+        b = HashRing(range(5)).assignments(KEYS_10K[:500])
+        assert a == b
+
+
+class TestBalance:
+    @pytest.mark.parametrize("n_shards", [2, 4, 8])
+    def test_no_shard_above_twice_the_mean(self, n_shards):
+        ring = HashRing(range(n_shards))
+        counts = Counter(ring.assignments(KEYS_10K).values())
+        assert set(counts) <= set(range(n_shards))
+        mean = len(KEYS_10K) / n_shards
+        assert max(counts.values()) <= 2 * mean
+
+    def test_every_shard_owns_keys(self):
+        ring = HashRing(range(8))
+        counts = Counter(ring.assignments(KEYS_10K).values())
+        assert len(counts) == 8
+
+
+class TestMinimalRemapping:
+    @pytest.mark.parametrize("n_before", [2, 4, 8])
+    def test_add_moves_under_2_over_n(self, n_before):
+        ring = HashRing(range(n_before))
+        before = ring.assignments(KEYS_10K)
+        ring.add(n_before)
+        after = ring.assignments(KEYS_10K)
+        moved = {k for k in KEYS_10K if before[k] != after[k]}
+        # Expected move fraction is 1/(N+1); assert under the 2/(N+1)
+        # ceiling, and that every move lands on the new node.
+        assert len(moved) / len(KEYS_10K) < 2 / (n_before + 1)
+        assert all(after[k] == n_before for k in moved)
+
+    @pytest.mark.parametrize("n_before", [3, 5, 8])
+    def test_remove_moves_only_the_lost_arcs(self, n_before):
+        ring = HashRing(range(n_before))
+        before = ring.assignments(KEYS_10K)
+        removed = n_before // 2
+        ring.remove(removed)
+        after = ring.assignments(KEYS_10K)
+        moved = {k for k in KEYS_10K if before[k] != after[k]}
+        # Exactly the removed node's keys move — no bystander churn.
+        assert moved == {k for k in KEYS_10K if before[k] == removed}
+        assert len(moved) / len(KEYS_10K) < 2 / n_before
+
+    def test_add_then_remove_round_trips(self):
+        ring = HashRing(range(4))
+        before = ring.assignments(KEYS_10K[:1000])
+        ring.add(4)
+        ring.remove(4)
+        assert ring.assignments(KEYS_10K[:1000]) == before
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=60),
+    n_shards=st.integers(2, 8),
+)
+def test_property_add_only_moves_keys_to_the_new_node(keys, n_shards):
+    ring = HashRing(range(n_shards))
+    before = ring.assignments(keys)
+    ring.add(n_shards)
+    after = ring.assignments(keys)
+    for key in keys:
+        assert after[key] == before[key] or after[key] == n_shards
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=60),
+    n_shards=st.integers(2, 8),
+)
+def test_property_lookup_always_lands_on_a_member(keys, n_shards):
+    ring = HashRing(range(n_shards))
+    for key in keys:
+        assert ring.lookup(key) in ring
+
+
+def _session(game: str, width: int = 1920, height: int = 1080) -> Session:
+    return Session(
+        game=game, resolution=Resolution(width, height), arrival=0.0, duration=1.0
+    )
+
+
+class TestShardRouter:
+    def test_routing_key_is_the_signature_entry(self):
+        assert routing_key(_session("Dota2")) == "Dota2@1920x1080"
+        assert routing_key(_session("Dota2", 1280, 720)) == "Dota2@1280x720"
+
+    def test_same_entry_same_shard(self):
+        router = ShardRouter(4)
+        assert router.shard_of(_session("Dota2")) == router.shard_of(
+            _session("Dota2")
+        )
+        assert router.n_shards == 4
+        assert router.shard_ids == [0, 1, 2, 3]
+
+    def test_resolution_is_part_of_the_key(self):
+        router = ShardRouter(4)
+        # Different resolutions are independent keys; they *may* share a
+        # shard, but the memo must hold distinct entries.
+        router.shard_of(_session("Dota2"))
+        router.shard_of(_session("Dota2", 1280, 720))
+        assert len(router._memo) == 2
+
+    def test_router_matches_ring(self):
+        router = ShardRouter(4)
+        session = _session("H1Z1")
+        assert router.shard_of(session) == router.ring.lookup(routing_key(session))
+
+    def test_topology_change_clears_memo(self):
+        router = ShardRouter(2)
+        router.shard_of(_session("Dota2"))
+        assert router._memo
+        router.add_shard(2)
+        assert not router._memo
+        assert router.n_shards == 3
+        router.shard_of(_session("Dota2"))
+        router.remove_shard(2)
+        assert not router._memo
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardRouter(0)
+
+    def test_route_span_records_key_and_shard(self):
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer(enabled=True)
+        router = ShardRouter(4, tracer=tracer)
+        session = _session("Dota2")
+        shard = router.route(session, index=7)
+        (span,) = tracer.spans
+        assert span.name == "route"
+        assert span.attributes["request"] == 7
+        assert span.attributes["game"] == "Dota2"
+        assert span.attributes["resolution"] == "1920x1080"
+        assert span.attributes["shard"] == shard
+
+    def test_route_without_tracer_opens_no_span(self):
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer(enabled=False)
+        router = ShardRouter(4, tracer=tracer)
+        router.route(_session("Dota2"), index=0)
+        assert tracer.spans == []
