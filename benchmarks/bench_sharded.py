@@ -92,6 +92,10 @@ def _run_shard_count(predictor, sessions, n_shards: int, args) -> dict:
         "servers_opened": report.servers_opened,
         "peak_servers": report.peak_servers,
         "shard_sessions": report.shard_sessions,
+        # The conservation invariant: routed minus submitted must be 0.
+        # The bench guard fails on any growth (sessions_lost:+0%).
+        "sessions_lost": report.coordinator["counters"].get("routed", 0)
+        - report.n_sessions,
     }
     # The largest sweep point's merged snapshot rides along for
     # `repro metrics diff` (fleet totals + per-shard labeled series).
@@ -164,6 +168,11 @@ def main(argv=None) -> int:
         "coordinator": largest["_coordinator"],
         "telemetry": largest["_telemetry"],
     }
+    # Surface the invariant where `repro metrics diff --fail-on` reads
+    # counters from: the merged telemetry of the largest sweep point.
+    payload["telemetry"].setdefault("counters", {})["sessions_lost"] = largest[
+        "sessions_lost"
+    ]
     if args.out:
         out_path = Path(args.out)
         out_path.parent.mkdir(parents=True, exist_ok=True)

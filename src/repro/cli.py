@@ -9,7 +9,8 @@ Wraps the library's offline/online workflow in seven subcommands::
                              --colocation "Dota2@1920x1080,H1Z1@1280x720" --qos 60
     python -m repro serve    --predictor predictor.json --requests 500 \\
                              --policy cm-feasible [--trace-out trace.json] \\
-                             [--shards 4 --rebalance-interval 2048]
+                             [--shards 4 --rebalance-interval 2048] \\
+                             [--shard-crash-rate 0.05 --shard-outage-window 10:5:1@2]
     python -m repro metrics  summary|diff|merge|export ...
     python -m repro experiments [--extensions] [--out results.md]
 
@@ -19,7 +20,10 @@ synthetic arrival trace through the online serving broker and emits the
 telemetry snapshot (JSON) — see :mod:`repro.serving`; ``--shards N``
 routes the trace across N consistent-hash broker shards with optional
 occupancy rebalancing and emits the shard-labeled merged snapshot — see
-:mod:`repro.sharding`; ``--trace-out`` additionally records a
+:mod:`repro.sharding`; the ``--shard-crash-rate`` / ``--shard-flake-rate``
+/ ``--shard-outage-window`` chaos flags kill whole shards on a seeded
+schedule and engage the shard supervisor (ring ejection, session
+failover, half-open readmission); ``--trace-out`` additionally records a
 per-request span trace (Chrome trace-event JSON by default,
 Perfetto-loadable).  ``metrics`` post-processes snapshot and
 trace files: human summaries, run-to-run regression diffs with
@@ -160,8 +164,34 @@ def _cmd_serve(args) -> int:
         generate_trace,
     )
 
+    if args.shards is not None and args.shards < 1:
+        raise ValueError(f"--shards must be >= 1, got {args.shards}")
+    if args.rebalance_interval is not None and args.rebalance_interval < 1:
+        raise ValueError(
+            f"--rebalance-interval must be >= 1, got {args.rebalance_interval}"
+        )
+    for flag, rate in (
+        ("--shard-crash-rate", args.shard_crash_rate),
+        ("--shard-flake-rate", args.shard_flake_rate),
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"{flag} must be in [0, 1], got {rate}")
+    if args.shard_outage_chunks < 1:
+        raise ValueError(
+            f"--shard-outage-chunks must be >= 1, got {args.shard_outage_chunks}"
+        )
+    if args.min_healthy_shards < 1:
+        raise ValueError(
+            f"--min-healthy-shards must be >= 1, got {args.min_healthy_shards}"
+        )
     if args.rebalance_interval and not args.shards:
         print("--rebalance-interval requires --shards", file=sys.stderr)
+        return 2
+    shard_chaos_requested = bool(
+        args.shard_crash_rate or args.shard_flake_rate or args.shard_outage_window
+    )
+    if shard_chaos_requested and not args.shards:
+        print("shard chaos flags require --shards", file=sys.stderr)
         return 2
     predictor = InterferencePredictor.load(args.predictor)
     trace_config = TraceConfig(
@@ -246,9 +276,14 @@ def _serve_sharded(args, predictor, sessions, trace_config) -> int:
     from repro.sharding import (
         RebalanceConfig,
         Rebalancer,
+        ShardChaos,
+        ShardChaosConfig,
         ShardConfig,
         ShardedBroker,
+        ShardSupervisor,
+        SupervisorConfig,
         build_shard_brokers,
+        parse_outage_window,
     )
 
     tracing = args.trace_out is not None
@@ -285,8 +320,29 @@ def _serve_sharded(args, predictor, sessions, trace_config) -> int:
         if args.rebalance_interval
         else None
     )
+    chaos_config = ShardChaosConfig(
+        outage_rate=args.shard_crash_rate,
+        flake_rate=args.shard_flake_rate,
+        outage_chunks=args.shard_outage_chunks,
+        windows=tuple(
+            parse_outage_window(text) for text in args.shard_outage_window
+        ),
+        seed=args.trace_seed,
+    )
+    supervisor = (
+        ShardSupervisor(
+            ShardChaos(chaos_config, args.shards),
+            SupervisorConfig(min_healthy=args.min_healthy_shards),
+        )
+        if chaos_config.active
+        else None
+    )
     broker = ShardedBroker(
-        brokers, rebalancer=rebalancer, telemetry=telemetry, tracer=tracer
+        brokers,
+        rebalancer=rebalancer,
+        supervisor=supervisor,
+        telemetry=telemetry,
+        tracer=tracer,
     )
     report = broker.run(sessions)
     if tracing:
@@ -314,9 +370,14 @@ def _serve_sharded(args, predictor, sessions, trace_config) -> int:
         "decision_deadline_ms": args.decision_deadline_ms,
         "breaker_threshold": args.breaker_threshold,
         "shards": args.shards,
-        "rebalance_interval": args.rebalance_interval,
+        "rebalance_interval": args.rebalance_interval or 0,
         "trace": trace_config.to_dict(),
     }
+    if supervisor is not None:
+        # Chaos/supervision keys appear only when the supervisor ran, so
+        # zero-chaos reports stay byte-identical to pre-supervision runs.
+        payload["config"]["shard_chaos"] = chaos_config.to_dict()
+        payload["config"]["min_healthy_shards"] = args.min_healthy_shards
     _write_or_print(json.dumps(payload, indent=2), args.out)
     return 0
 
@@ -500,16 +561,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--shards",
         type=int,
-        default=0,
+        default=None,
         help="route arrivals by game signature across N independent broker "
-        "shards (0 = classic single-broker path; see repro.sharding)",
+        "shards (omit for the classic single-broker path; see repro.sharding)",
     )
     p.add_argument(
         "--rebalance-interval",
         type=int,
-        default=0,
+        default=None,
         help="with --shards: arrivals between occupancy rebalance checks; "
-        "hot shards migrate sessions to cold ones (0 disables migration)",
+        "hot shards migrate sessions to cold ones (omit to disable migration)",
+    )
+    p.add_argument(
+        "--shard-crash-rate",
+        type=float,
+        default=0.0,
+        help="chaos: per-shard per-chunk probability that a whole shard "
+        "drops out of the serving tier (with --shards; see repro.sharding)",
+    )
+    p.add_argument(
+        "--shard-flake-rate",
+        type=float,
+        default=0.0,
+        help="chaos: per-shard per-chunk probability of one failed health "
+        "probe that the next probe survives (with --shards)",
+    )
+    p.add_argument(
+        "--shard-outage-window",
+        action="append",
+        default=[],
+        metavar="START:DURATION:RATE[@SHARD]",
+        help="chaos: extra shard-outage probability while the window is "
+        "open, in trace minutes (repeatable; with --shards)",
+    )
+    p.add_argument(
+        "--shard-outage-chunks",
+        type=int,
+        default=4,
+        help="chaos: chunk barriers a shard stays down once an outage fires",
+    )
+    p.add_argument(
+        "--min-healthy-shards",
+        type=int,
+        default=1,
+        help="healthy-shard floor below which routing falls back to "
+        "least-loaded (degraded mode) instead of the hash ring",
     )
     p.add_argument("--out", help="write the JSON report here instead of stdout")
     p.add_argument(

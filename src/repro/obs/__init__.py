@@ -30,6 +30,7 @@ from repro.obs.snapshots import (
     check_regressions,
     diff_snapshots,
     load_snapshot,
+    merge_all,
     merge_snapshots,
     parse_fail_spec,
     render_diff,
@@ -54,6 +55,7 @@ __all__ = [
     "summarize_snapshot",
     "label_snapshot",
     "merge_snapshots",
+    "merge_all",
     "diff_snapshots",
     "render_diff",
     "FailSpec",

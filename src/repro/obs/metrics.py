@@ -32,6 +32,7 @@ __all__ = [
     "Telemetry",
     "label_snapshot",
     "merge_snapshots",
+    "merge_all",
     "snapshot_to_prometheus",
     "DEFAULT_LATENCY_BUCKETS",
     "MAX_EVENTS",
@@ -222,14 +223,25 @@ class LatencyHistogram:
 
         Individual observations are gone, but bucket counts, count and
         total — everything mean/quantile estimation uses — survive, which
-        is what makes snapshot merging exact.
+        is what makes snapshot merging exact.  A dict without buckets
+        (a hand-built or truncated snapshot) degrades gracefully: the
+        default edges with every observation in overflow, rather than a
+        ``KeyError`` out of :func:`merge_snapshots`.
         """
-        entries = data["buckets"]
+        count = int(data.get("count", 0))
+        total = float(data.get("total_s", 0.0))
+        entries = data.get("buckets")
+        if not entries:
+            hist = cls(name)
+            hist._counts[-1] = count  # all mass in overflow: edges unknown
+            hist._count = count
+            hist._total = total
+            return hist
         edges = tuple(b["le_s"] for b in entries if b["le_s"] is not None)
         hist = cls(name, buckets=edges)
         hist._counts = [int(b["count"]) for b in entries]
-        hist._count = int(data["count"])
-        hist._total = float(data["total_s"])
+        hist._count = count
+        hist._total = total
         return hist
 
 
@@ -381,16 +393,21 @@ def _merge_histogram_dicts(name: str, a: dict, b: dict) -> dict:
 
 
 def _merge_labeled(kind: str, a: dict, b: dict) -> dict:
-    """Merge the per-name lists of labeled children from two snapshots."""
+    """Merge the per-name lists of labeled children from two snapshots.
+
+    Disjoint metric names pass through untouched; an entry missing its
+    ``labels`` dict (hand-built snapshots) is treated as unlabeled
+    rather than raising.
+    """
     out: dict[str, list] = {}
     for name in sorted(set(a) | set(b)):
         by_labels: dict[tuple, dict] = {}
         for entry in list(a.get(name, ())) + list(b.get(name, ())):
-            key = _label_key(entry["labels"])
+            key = _label_key(entry.get("labels", {}))
             if key not in by_labels:
                 by_labels[key] = dict(entry)
             elif kind == "histograms":
-                labels = by_labels[key]["labels"]
+                labels = by_labels[key].get("labels", {})
                 merged = _merge_histogram_dicts(name, by_labels[key], entry)
                 by_labels[key] = {"labels": labels, **merged}
             else:
@@ -506,6 +523,21 @@ def merge_snapshots(a: dict, b: dict) -> dict:
         "events": events,
         "events_dropped": dropped,
     }
+
+
+def merge_all(snapshots) -> dict:
+    """Fold any iterable of snapshots through :func:`merge_snapshots`.
+
+    The reduce-with-initial-value the sharded tier's reporting wants: an
+    empty iterable yields a valid empty snapshot (the shape
+    ``Telemetry().snapshot()`` produces) instead of raising, and one
+    snapshot comes back normalized through a merge with the empty
+    snapshot rather than passed through by reference.
+    """
+    merged = Telemetry().snapshot()
+    for snapshot in snapshots:
+        merged = merge_snapshots(merged, snapshot)
+    return merged
 
 
 def _prom_name(name: str) -> str:

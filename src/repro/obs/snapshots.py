@@ -18,7 +18,7 @@ import math
 import re
 from dataclasses import dataclass
 
-from repro.obs.metrics import merge_snapshots, snapshot_to_prometheus
+from repro.obs.metrics import merge_all, merge_snapshots, snapshot_to_prometheus
 
 __all__ = [
     "load_snapshot",
@@ -30,6 +30,7 @@ __all__ = [
     "render_diff",
     "validate_prometheus",
     "merge_snapshots",
+    "merge_all",
     "snapshot_to_prometheus",
 ]
 

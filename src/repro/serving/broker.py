@@ -242,25 +242,32 @@ class RequestBroker:
 
     # -- migration hooks (driven by repro.sharding.Rebalancer) ----------
 
-    def evict_for_migration(self, server_id: int, *, now: float, index: int) -> list[Session]:
+    def evict_for_migration(
+        self, server_id: int, *, now: float, index: int, reason: str = "migration"
+    ) -> list[Session]:
         """Evict ``server_id`` wholesale as the *source* side of a migration.
 
         Reuses the crash→evict primitive (:meth:`FleetState.crash`, so
         evicted sessions come back in admission order) but counts
         ``migrations`` / ``sessions_migrated_out`` — an operator must be
-        able to tell planned moves from failures at a glance.
+        able to tell planned moves from failures at a glance.  A
+        non-default ``reason`` (the shard supervisor passes
+        ``"failover"``) is stamped onto the event; the default leaves
+        the event byte-identical to pre-supervision runs.
         """
         evicted = self.fleet.crash(server_id)
         t = self.controller.telemetry
         t.counter("migrations").inc()
         t.counter("sessions_migrated_out").inc(len(evicted))
         t.gauge("open_servers").set(self.fleet.n_open)
+        extra = {} if reason == "migration" else {"reason": reason}
         t.event(
             "migration_out",
             time=now,
             arrival_index=index,
             server_id=server_id,
             sessions=len(evicted),
+            **extra,
         )
         return evicted
 

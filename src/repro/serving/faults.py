@@ -21,6 +21,11 @@ Every draw comes from one seeded substream
 reproducible, and a rate of ``0.0`` short-circuits before touching the
 RNG — a fully zero-rate injector is a perfect pass-through, which is how
 the parity tests prove the fault layer cannot perturb healthy serving.
+
+:class:`InjectionWindow` generalizes the flat rates into time-varying
+failure bursts (start/duration/intensity); the shard-level chaos layer
+(:mod:`repro.sharding.chaos`) builds whole-shard outage schedules out of
+them.
 """
 
 from __future__ import annotations
@@ -33,6 +38,8 @@ from repro.utils.rng import spawn_rng
 
 __all__ = [
     "InjectedFault",
+    "InjectionWindow",
+    "windowed_rate",
     "FaultConfig",
     "FaultInjector",
     "FaultyPolicy",
@@ -43,6 +50,62 @@ __all__ = [
 
 class InjectedFault(RuntimeError):
     """An artificial failure raised by the :class:`FaultInjector`."""
+
+
+@dataclass(frozen=True)
+class InjectionWindow:
+    """A time-varying injection window: extra fault probability while open.
+
+    The anomaly-injector shape — a failure burst with a start, a
+    duration, and an intensity — as a reusable primitive.  ``rate`` is
+    added to the base injection rate while ``start <= now < start +
+    duration``; ``target`` optionally narrows the window to one
+    component (the shard-level chaos layer uses shard ids).  Windows are
+    pure functions of the logical clock, so enabling one never perturbs
+    draws outside its span.
+    """
+
+    start: float
+    duration: float
+    rate: float
+    target: int | str | None = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"window start must be >= 0, got {self.start}")
+        if self.duration <= 0:
+            raise ValueError(f"window duration must be > 0, got {self.duration}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"window rate must be in [0, 1], got {self.rate}")
+
+    def open_at(self, now: float) -> bool:
+        """Whether the window covers logical time ``now``."""
+        return self.start <= now < self.start + self.duration
+
+    def rate_at(self, now: float, target=None) -> float:
+        """The extra rate this window contributes for ``target`` at ``now``."""
+        if not self.open_at(now):
+            return 0.0
+        if self.target is not None and target != self.target:
+            return 0.0
+        return self.rate
+
+    def to_dict(self) -> dict:
+        """JSON-able form (embedded in serving reports)."""
+        return {
+            "start": self.start,
+            "duration": self.duration,
+            "rate": self.rate,
+            "target": self.target,
+        }
+
+
+def windowed_rate(
+    base: float, windows, now: float, target=None, *, cap: float = 1.0
+) -> float:
+    """``base`` plus every open window's contribution, clamped to ``cap``."""
+    rate = base + sum(w.rate_at(now, target) for w in windows)
+    return min(rate, cap)
 
 
 @dataclass(frozen=True)

@@ -1,14 +1,17 @@
-"""Sharded multi-broker serving: route, drain, rebalance, merge.
+"""Sharded multi-broker serving: route, drain, rebalance, supervise.
 
 The scale-out tier above the single-fleet serving stack
 (:mod:`repro.serving`).  A consistent-hash ring (:class:`HashRing`)
 routes sessions by canonical game signature (:class:`ShardRouter`) onto
 N independent broker shards (:class:`ShardedBroker` +
-:func:`build_shard_brokers`), and an occupancy-driven
-:class:`Rebalancer` migrates sessions off hot shards between drain
-chunks.  Per-shard telemetry merges into one shard-labeled snapshot;
-``repro serve --shards N`` is the CLI frontend and
-``benchmarks/bench_sharded.py`` the scale proof.
+:func:`build_shard_brokers`), an occupancy-driven :class:`Rebalancer`
+migrates sessions off hot shards between drain chunks, and a
+:class:`ShardSupervisor` keeps the tier alive through whole-shard
+outages — seeded chaos (:class:`ShardChaos`) kills shards, the
+supervisor ejects them from the ring, fails their sessions over, and
+readmits them after half-open probing.  Per-shard telemetry merges into
+one shard-labeled snapshot; ``repro serve --shards N`` is the CLI
+frontend and ``benchmarks/bench_sharded.py`` the scale proof.
 """
 
 from repro.sharding.broker import (
@@ -17,9 +20,16 @@ from repro.sharding.broker import (
     ShardedReport,
     build_shard_brokers,
 )
+from repro.sharding.chaos import (
+    OutageWindow,
+    ShardChaos,
+    ShardChaosConfig,
+    parse_outage_window,
+)
 from repro.sharding.rebalance import RebalanceConfig, Rebalancer
 from repro.sharding.ring import HashRing, stable_hash
 from repro.sharding.router import ShardRouter, routing_key
+from repro.sharding.supervisor import ShardSupervisor, SupervisorConfig
 
 __all__ = [
     "HashRing",
@@ -32,4 +42,10 @@ __all__ = [
     "build_shard_brokers",
     "RebalanceConfig",
     "Rebalancer",
+    "OutageWindow",
+    "ShardChaos",
+    "ShardChaosConfig",
+    "parse_outage_window",
+    "ShardSupervisor",
+    "SupervisorConfig",
 ]

@@ -34,15 +34,17 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as DrainTimeout
 from dataclasses import dataclass, field
 from itertools import islice
 
-from repro.obs.metrics import Telemetry, label_snapshot, merge_snapshots
+from repro.obs.metrics import Telemetry, label_snapshot, merge_all
 from repro.obs.tracing import NOOP_TRACER, Tracer
 from repro.placement.fleet import Session
 from repro.serving.broker import RequestBroker, ServingReport
 from repro.sharding.rebalance import Rebalancer
 from repro.sharding.router import ShardRouter
+from repro.sharding.supervisor import ShardSupervisor
 from repro.utils.rng import derive_seed
 
 __all__ = [
@@ -163,6 +165,7 @@ class ShardedReport:
     shard_reports: list[ServingReport]
     telemetry: dict = field(default_factory=dict)
     coordinator: dict = field(default_factory=dict)
+    supervision: dict = field(default_factory=dict)
 
     @property
     def n_shards(self) -> int:
@@ -201,9 +204,19 @@ class ShardedReport:
             for r in self.shard_reports
         )
 
+    @property
+    def sessions_failed_over(self) -> int:
+        """Sessions evicted off dead shards and re-admitted elsewhere."""
+        return self.coordinator.get("counters", {}).get("sessions_failed_over", 0)
+
     def to_dict(self) -> dict:
-        """JSON-able summary plus per-shard reports."""
-        return {
+        """JSON-able summary plus per-shard reports.
+
+        ``supervision`` only appears when a supervisor actually ran —
+        unsupervised (and zero-chaos) reports stay byte-identical to
+        pre-supervision output.
+        """
+        out = {
             "n_sessions": self.n_sessions,
             "n_shards": self.n_shards,
             "shard_sessions": self.shard_sessions,
@@ -215,6 +228,9 @@ class ShardedReport:
             "telemetry": self.telemetry,
             "shards": [r.to_dict() for r in self.shard_reports],
         }
+        if self.supervision:
+            out["supervision"] = self.supervision
+        return out
 
 
 class ShardedBroker:
@@ -233,6 +249,7 @@ class ShardedBroker:
         *,
         router: ShardRouter | None = None,
         rebalancer: Rebalancer | None = None,
+        supervisor: ShardSupervisor | None = None,
         telemetry: Telemetry | None = None,
         tracer: Tracer | None = None,
         parallel: bool = True,
@@ -254,6 +271,17 @@ class ShardedBroker:
                 f"got {len(self.brokers)} brokers"
             )
         self.rebalancer = rebalancer
+        self.supervisor = supervisor
+        if supervisor is not None:
+            # Adopt the supervisor: its counters, events and spans land in
+            # the coordinator's telemetry/tracer, so one snapshot carries
+            # routing volume and the resilience timeline side by side.
+            supervisor.telemetry = self.telemetry
+            supervisor.tracer = self.tracer
+            supervisor.bind(len(self.brokers))
+        # Supervision only observably acts when the chaos schedule can
+        # fire; gating here keeps zero-chaos runs byte-exact pass-throughs.
+        self._supervising = supervisor is not None and supervisor.active
         self.parallel = bool(parallel)
         if chunk_size is None:
             interval = rebalancer.config.interval if rebalancer is not None else 0
@@ -292,21 +320,43 @@ class ShardedBroker:
             if self.parallel and n_shards > 1
             else None
         )
+        deadline = (
+            self.supervisor.config.drain_deadline_s if self._supervising else None
+        )
         index = 0
         try:
             while True:
                 chunk = list(islice(stream, self.chunk_size))
                 if not chunk:
                     break
+                # Supervision barrier first: outages fire and failover
+                # completes *before* routing, so every arrival in this
+                # chunk is routed against a ring of healthy shards and no
+                # session can land on a shard that dies mid-chunk.
+                if self._supervising:
+                    self.supervisor.tick(
+                        self.brokers,
+                        self.router,
+                        now=chunk[0].arrival,
+                        index=index,
+                    )
                 batches: list[list[tuple[int, Session]]] = [
                     [] for _ in range(n_shards)
                 ]
                 with self.telemetry.time("route_batch_s"):
-                    for session in chunk:
-                        batches[self.router.route(session, index)].append(
-                            (index, session)
-                        )
-                        index += 1
+                    if self._supervising:
+                        for session in chunk:
+                            shard = self.supervisor.route(
+                                session, index, self.router, self.brokers
+                            )
+                            batches[shard].append((index, session))
+                            index += 1
+                    else:
+                        for session in chunk:
+                            batches[self.router.route(session, index)].append(
+                                (index, session)
+                            )
+                            index += 1
                 self.telemetry.counter("routed").inc(len(chunk))
                 if pool is not None:
                     futures = [
@@ -315,7 +365,19 @@ class ShardedBroker:
                         if batch
                     ]
                     for future in futures:
-                        future.result()
+                        if deadline is None:
+                            future.result()
+                            continue
+                        try:
+                            future.result(timeout=deadline)
+                        except DrainTimeout:
+                            # Tripwire only: count the overrun, then wait
+                            # it out — abandoning a drain mid-chunk would
+                            # lose sessions, the one thing we must not do.
+                            self.telemetry.counter(
+                                "drain_deadline_exceeded"
+                            ).inc()
+                            future.result()
                 else:
                     for shard_id, batch in enumerate(batches):
                         if batch:
@@ -324,18 +386,39 @@ class ShardedBroker:
                 # occupancies are stable and migration is deterministic.
                 if self.rebalancer is not None:
                     self.rebalancer.rebalance(
-                        self.brokers, now=chunk[-1].arrival, index=index - 1
+                        self.brokers,
+                        now=chunk[-1].arrival,
+                        index=index - 1,
+                        healthy=(
+                            self.router.shard_ids if self._supervising else None
+                        ),
                     )
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
         reports = [broker.finish() for broker in self.brokers]
-        merged: dict = {}
+        if self._supervising:
+            # The conservation invariant, as a metric: every routed
+            # arrival was submitted to exactly one shard.  Nonzero here
+            # means the tier dropped sessions — the bench guard and the
+            # chaos-smoke CI job both fail on any growth from zero.
+            routed = self.telemetry.counter("routed").value
+            arrived = sum(r.n_arrivals for r in reports)
+            self.telemetry.counter("sessions_lost").inc(max(0, routed - arrived))
+        labeled = []
         for shard_id, report in enumerate(reports):
-            labeled = label_snapshot(report.telemetry, shard=shard_id)
-            merged = labeled if not merged else merge_snapshots(merged, labeled)
+            if self._supervising:
+                labels = {
+                    "shard": shard_id,
+                    "health": self.supervisor.health_of(shard_id),
+                }
+            else:
+                labels = {"shard": shard_id}
+            labeled.append(label_snapshot(report.telemetry, **labels))
+        merged = merge_all(labeled)
         return ShardedReport(
             shard_reports=reports,
             telemetry=merged,
             coordinator=self.telemetry.snapshot(),
+            supervision=self.supervisor.snapshot() if self._supervising else {},
         )

@@ -73,29 +73,38 @@ class Rebalancer:
         self.tracer = tracer if tracer is not None else NOOP_TRACER
 
     def rebalance(
-        self, brokers: Sequence[RequestBroker], *, now: float, index: int
+        self,
+        brokers: Sequence[RequestBroker],
+        *,
+        now: float,
+        index: int,
+        healthy: Sequence[int] | None = None,
     ) -> int:
         """Run one cycle against the shard brokers; returns sessions moved.
 
         ``now`` is the barrier's logical time (the last routed arrival)
         and ``index`` its global arrival index; both only label events
-        and spans.  Must be called while no shard worker is draining —
-        the sharded broker guarantees this by rebalancing only between
-        chunks.
+        and spans.  ``healthy`` restricts the cycle to a subset of shard
+        ids (the supervisor passes the current ring members so sessions
+        are never rebalanced *onto* an ejected shard); ``None`` means
+        all shards, which is bit-for-bit the pre-supervision behaviour.
+        Must be called while no shard worker is draining — the sharded
+        broker guarantees this by rebalancing only between chunks.
         """
         self.telemetry.counter("rebalance_cycles").inc()
-        n = len(brokers)
+        ids = list(range(len(brokers))) if healthy is None else sorted(healthy)
+        n = len(ids)
         if n < 2:
             return 0
-        loads = [broker.fleet.n_live for broker in brokers]
-        total = sum(loads)
+        loads = {i: brokers[i].fleet.n_live for i in ids}
+        total = sum(loads.values())
         if total == 0:
             return 0
         mean = total / n
         moved = 0
         for _ in range(self.config.max_moves):
-            hot = max(range(n), key=lambda i: (loads[i], -i))
-            cold = min(range(n), key=lambda i: (loads[i], i))
+            hot = max(ids, key=lambda i: (loads[i], -i))
+            cold = min(ids, key=lambda i: (loads[i], i))
             if hot == cold or loads[hot] <= self.config.hot_factor * mean:
                 break
             server_loads = brokers[hot].fleet.loads()

@@ -84,6 +84,25 @@ class ShardRouter:
             span.set(shard=shard)
         return shard
 
+    def route_forced(self, session, index: int, shard: int) -> int:
+        """Route one arrival to a caller-chosen shard (degraded mode).
+
+        The supervisor uses this below its healthy-shard floor: affinity
+        is abandoned in favor of any shard still standing.  The span is
+        marked ``fallback=True`` so traces distinguish forced routes
+        from ring lookups.
+        """
+        if not self.tracer.enabled:
+            return shard
+        with self.tracer.span(
+            "route",
+            request=index,
+            game=session.game,
+            resolution=str(session.resolution),
+        ) as span:
+            span.set(shard=shard, fallback=True)
+        return shard
+
     # -- topology -------------------------------------------------------
 
     def add_shard(self, shard_id: int) -> None:

@@ -447,3 +447,118 @@ class TestServeSharded:
                 if line
             }
             assert "request" in names
+
+
+class TestServeShardChaos:
+    """Shard-chaos serving flags: validation and the supervised path."""
+
+    @pytest.mark.parametrize(
+        "flags,needle",
+        [
+            (["--shards", "0"], "--shards"),
+            (["--shards", "-2"], "--shards"),
+            (["--shards", "2", "--rebalance-interval", "0"], "--rebalance-interval"),
+            (["--shards", "2", "--rebalance-interval", "-5"], "--rebalance-interval"),
+            (["--shards", "2", "--shard-crash-rate", "1.5"], "--shard-crash-rate"),
+            (["--shards", "2", "--shard-crash-rate", "-0.1"], "--shard-crash-rate"),
+            (["--shards", "2", "--shard-flake-rate", "2"], "--shard-flake-rate"),
+            (["--shards", "2", "--shard-outage-chunks", "0"], "--shard-outage-chunks"),
+            (["--shards", "2", "--min-healthy-shards", "0"], "--min-healthy-shards"),
+        ],
+    )
+    def test_bad_values_exit_1_with_one_line_error(
+        self, predictor_path, capsys, flags, needle
+    ):
+        rc = main(["serve", "--predictor", predictor_path, *flags])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert needle.lstrip("-").replace("-", "_") in err.replace("-", "_")
+        assert len(err.strip().splitlines()) == 1  # no traceback
+
+    def test_malformed_outage_window_exit_1(self, predictor_path, capsys):
+        rc = main(
+            [
+                "serve",
+                "--predictor",
+                predictor_path,
+                "--shards",
+                "2",
+                "--shard-outage-window",
+                "nope",
+            ]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "nope" in err
+
+    def test_chaos_flags_require_shards(self, predictor_path, capsys):
+        rc = main(
+            ["serve", "--predictor", predictor_path, "--shard-crash-rate", "0.1"]
+        )
+        assert rc == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_supervised_run_conserves_sessions(self, predictor_path, capsys):
+        rc = main(
+            [
+                "serve",
+                "--predictor",
+                predictor_path,
+                "--requests",
+                "200",
+                "--arrival-rate",
+                "4.0",
+                "--mixed-resolutions",
+                "--trace-seed",
+                "3",
+                "--shards",
+                "4",
+                "--rebalance-interval",
+                "32",
+                "--shard-outage-window",
+                "0:30:1@1",
+                "--shard-outage-chunks",
+                "2",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        coord = payload["coordinator"]["counters"]
+        assert coord["routed"] == 200
+        assert coord["sessions_lost"] == 0
+        assert sum(payload["shard_sessions"]) == 200
+        assert coord["ring_ejections"] >= 1
+        assert coord["ring_readmissions"] >= 1
+        assert payload["supervision"]["health"]["1"] == "healthy"
+        assert payload["config"]["shard_chaos"]["outage_chunks"] == 2
+        assert payload["config"]["min_healthy_shards"] == 1
+        assert payload["telemetry"]["counters"].get("policy_errors", 0) == 0
+
+    def test_zero_chaos_matches_unsupervised_sharded(self, predictor_path, capsys):
+        argv = [
+            "serve",
+            "--predictor",
+            predictor_path,
+            "--requests",
+            "120",
+            "--arrival-rate",
+            "4.0",
+            "--trace-seed",
+            "3",
+            "--shards",
+            "2",
+        ]
+        assert main(argv) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert (
+            main(argv + ["--shard-crash-rate", "0", "--shard-flake-rate", "0"]) == 0
+        )
+        zeroed = json.loads(capsys.readouterr().out)
+        assert "supervision" not in zeroed
+        assert _strip_wall_clock(zeroed["telemetry"]) == _strip_wall_clock(
+            plain["telemetry"]
+        )
+        assert _strip_wall_clock(zeroed["coordinator"]) == _strip_wall_clock(
+            plain["coordinator"]
+        )

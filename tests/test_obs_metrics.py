@@ -9,6 +9,7 @@ from repro.obs import (
     check_regressions,
     diff_snapshots,
     load_snapshot,
+    merge_all,
     merge_snapshots,
     parse_fail_spec,
     render_diff,
@@ -216,3 +217,63 @@ class TestPrometheus:
         assert snap["histograms"]["slow_s"]["p50_s"] == math.inf
         text = snapshot_to_prometheus(snap)
         assert validate_prometheus(text) == []
+
+
+class TestMergeEdgeCases:
+    """Regression tests for merge robustness (sharded-tier reporting)."""
+
+    def test_merge_all_empty_list_is_valid_empty_snapshot(self):
+        merged = merge_all([])
+        assert merged == Telemetry().snapshot()
+
+    def test_merge_all_single_snapshot_normalizes(self):
+        t = Telemetry()
+        _record(t, [0.25, 0.5])
+        merged = merge_all([t.snapshot()])
+        assert merged == merge_snapshots(Telemetry().snapshot(), t.snapshot())
+        assert merged["counters"] == t.snapshot()["counters"]
+
+    def test_merge_all_matches_pairwise_fold(self):
+        parts = []
+        for chunk in ([0.25], [0.5, 0.125], [2.0]):
+            t = Telemetry()
+            _record(t, chunk)
+            parts.append(t.snapshot())
+        folded = parts[0]
+        for part in parts[1:]:
+            folded = merge_snapshots(folded, part)
+        merged = merge_all(parts)
+        # Pairwise folding passes the first snapshot through unnormalized;
+        # the counters/histograms content must still agree exactly.
+        assert merged["counters"] == folded["counters"]
+        assert merged["histograms"] == folded["histograms"]
+        assert merged["labeled"] == folded["labeled"]
+
+    def test_disjoint_labeled_metrics_union(self):
+        a, b = Telemetry(), Telemetry()
+        a.counter("only_a", shard="0").inc(2)
+        b.counter("only_b", shard="1").inc(3)
+        b.histogram("only_b_s", shard="1").observe(0.25)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["labeled"]["counters"]["only_a"][0]["value"] == 2
+        assert merged["labeled"]["counters"]["only_b"][0]["value"] == 3
+        assert merged["labeled"]["histograms"]["only_b_s"][0]["count"] == 1
+
+    def test_labeled_entry_without_labels_treated_as_unlabeled(self):
+        a = {"labeled": {"counters": {"hits": [{"value": 2}]}}}
+        b = {"labeled": {"counters": {"hits": [{"value": 3}]}}}
+        merged = merge_snapshots(a, b)
+        assert merged["labeled"]["counters"]["hits"][0]["value"] == 5
+
+    def test_histogram_dict_without_buckets_goes_to_overflow(self):
+        from repro.obs.metrics import LatencyHistogram
+
+        hist = LatencyHistogram.from_dict("lat", {"count": 4, "total_s": 2.0})
+        assert hist.count == 4
+        assert hist.total == 2.0
+        assert hist.overflow_count == 4
+        # And it survives a merge with a real histogram-less snapshot.
+        merged = merge_snapshots(
+            {"histograms": {"lat": {"count": 4, "total_s": 2.0}}}, {}
+        )
+        assert merged["histograms"]["lat"]["count"] == 4

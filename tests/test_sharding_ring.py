@@ -215,3 +215,61 @@ class TestShardRouter:
         router = ShardRouter(4, tracer=tracer)
         router.route(_session("Dota2"), index=0)
         assert tracer.spans == []
+
+
+class TestEjectReadmit:
+    """The supervision substrate: ejection is perfectly reversible.
+
+    A readmitted shard re-inserts the exact vnode positions it had
+    before (vnode hashes depend only on the shard id), so the ring —
+    and therefore every routing decision — is restored byte-identically.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_shards=st.integers(min_value=2, max_value=8),
+        ejected=st.integers(min_value=0, max_value=7),
+        keys=st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=50),
+    )
+    def test_eject_then_readmit_restores_routing(self, n_shards, ejected, keys):
+        ejected %= n_shards
+        ring = HashRing(range(n_shards))
+        before = [ring.lookup(key) for key in keys]
+        ring.remove(ejected)
+        ring.add(ejected)
+        assert ring.nodes == list(range(n_shards))
+        assert [ring.lookup(key) for key in keys] == before
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_shards=st.integers(min_value=2, max_value=8),
+        data=st.data(),
+        keys=st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=50),
+    )
+    def test_routing_never_returns_an_ejected_shard(self, n_shards, data, keys):
+        k = data.draw(st.integers(min_value=1, max_value=n_shards - 1))
+        down = set(
+            data.draw(
+                st.lists(
+                    st.sampled_from(range(n_shards)),
+                    min_size=k,
+                    max_size=k,
+                    unique=True,
+                )
+            )
+        )
+        ring = HashRing(range(n_shards))
+        for shard in down:
+            ring.remove(shard)
+        for key in keys:
+            assert ring.lookup(key) not in down
+
+    def test_router_survives_full_eject_readmit_cycle(self):
+        router = ShardRouter(4)
+        session = _session("Dota2")
+        home = router.shard_of(session)
+        router.remove_shard(home)
+        rerouted = router.shard_of(session)
+        assert rerouted != home
+        router.add_shard(home)
+        assert router.shard_of(session) == home
