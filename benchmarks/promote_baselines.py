@@ -1,0 +1,79 @@
+"""Promote fresh local benchmark results to the committed baselines.
+
+``bench_results/`` is the single canonical *write* location — every
+bench run (``pytest benchmarks/ --benchmark-only``,
+``python benchmarks/bench_sharded.py``) lands its ``BENCH_*.json``
+there, and the directory is gitignored.  ``benchmarks/baselines/`` is
+the single canonical *committed* location CI diffs against.  This script
+is the only sanctioned path between the two::
+
+    python benchmarks/promote_baselines.py            # promote everything
+    python benchmarks/promote_baselines.py BENCH_serving.json
+
+Promote deliberately, on a quiet machine, and commit the result — the
+CI bench-guard job gates every later run against whatever is promoted
+here (`repro metrics diff` for throughput, `repro slo diff` for
+prediction-calibration drift).
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent.parent / "bench_results"
+BASELINES = Path(__file__).resolve().parent / "baselines"
+
+
+def promote(names: list[str] | None = None) -> list[str]:
+    """Copy ``bench_results/BENCH_*.json`` into ``benchmarks/baselines/``.
+
+    ``names`` restricts promotion to specific files; ``None`` promotes
+    every ``BENCH_*.json`` present.  Returns the promoted file names.
+    """
+    if not RESULTS.is_dir():
+        raise FileNotFoundError(
+            f"{RESULTS} does not exist — run the benchmarks first"
+        )
+    candidates = (
+        [RESULTS / name for name in names]
+        if names
+        else sorted(RESULTS.glob("BENCH_*.json"))
+    )
+    promoted = []
+    for path in candidates:
+        if not path.is_file():
+            raise FileNotFoundError(f"{path} not found in bench_results/")
+        if not (path.name.startswith("BENCH_") and path.suffix == ".json"):
+            raise ValueError(f"{path.name}: only BENCH_*.json files are baselines")
+        BASELINES.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(path, BASELINES / path.name)
+        promoted.append(path.name)
+    return promoted
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="BENCH_*.json files to promote (default: all in bench_results/)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        promoted = promote(args.names or None)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not promoted:
+        print("error: no BENCH_*.json files in bench_results/", file=sys.stderr)
+        return 1
+    for name in promoted:
+        print(f"promoted {name} -> benchmarks/baselines/{name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ import time
 
 from benchmarks.conftest import emit, emit_json
 
+from repro.obs import QoSLedger
 from repro.scheduling.dynamic import generate_sessions
 from repro.serving import (
     AdmissionController,
@@ -21,6 +22,7 @@ from repro.serving import (
 )
 
 N_REQUESTS = 400
+SLO_FPS = 30.0
 
 
 def _sessions(lab):
@@ -29,9 +31,9 @@ def _sessions(lab):
     )
 
 
-def _replay(lab, sessions, cache):
+def _replay(lab, sessions, cache, *, ledger=None):
     policy = CMFeasiblePolicy(lab.predictor, 60.0, cache=cache)
-    return RequestBroker(AdmissionController(policy)).run(sessions)
+    return RequestBroker(AdmissionController(policy), ledger=ledger).run(sessions)
 
 
 def test_serving_throughput_cold_vs_warm(lab, benchmark):
@@ -67,19 +69,33 @@ def test_serving_throughput_cold_vs_warm(lab, benchmark):
             ]
         ),
     )
+    # Ground-truth calibration replay, deliberately outside every timed
+    # region: the ledger recomputes measured FPS per mutation, which
+    # would otherwise pollute the throughput numbers above.  Its qos
+    # section is seeded-deterministic, so the CI calibration gate
+    # (`repro slo diff ... --fail-on fps_residual_mae:+10%`) compares
+    # it bit-for-bit meaningfully across runs.
+    ledger = QoSLedger(lab.catalog, lab.predictor, slo_fps=SLO_FPS)
+    qos_report = _replay(lab, sessions, PredictionCache(8192), ledger=ledger)
+    assert qos_report.qos["sessions"]["conservation_errors"] == 0
+
     # Machine-readable twin of the table above: consumed by the CI
-    # regression guard via `repro metrics diff` against the committed
-    # baseline in benchmarks/baselines/BENCH_serving.json.
+    # regression guard via `repro metrics diff` (throughput) and
+    # `repro slo diff` (calibration) against the committed baseline in
+    # benchmarks/baselines/BENCH_serving.json — promote a fresh local
+    # run with `python benchmarks/promote_baselines.py`.
     emit_json(
         "BENCH_serving",
         {
             "bench": "serving_throughput",
             "n_requests": N_REQUESTS,
+            "slo_fps": SLO_FPS,
             "cold_decisions_per_s": round(cold_rate, 1),
             "warm_decisions_per_s": round(warm_rate, 1),
             "cold_hit_rate": round(cold_cache.hit_rate, 4),
             "warm_hit_rate": round(warm_cache.hit_rate, 4),
             "telemetry": warm_report.telemetry,
+            "qos": qos_report.qos,
         },
     )
     # The warm path must at least keep dispatch-rate viability.

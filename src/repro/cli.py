@@ -10,8 +10,10 @@ Wraps the library's offline/online workflow in seven subcommands::
     python -m repro serve    --predictor predictor.json --requests 500 \\
                              --policy cm-feasible [--trace-out trace.json] \\
                              [--shards 4 --rebalance-interval 2048] \\
-                             [--shard-crash-rate 0.05 --shard-outage-window 10:5:1@2]
+                             [--shard-crash-rate 0.05 --shard-outage-window 10:5:1@2] \\
+                             [--slo-fps 30 --qos-budget 0.05]
     python -m repro metrics  summary|diff|merge|export ...
+    python -m repro slo      summary|diff ...
     python -m repro experiments [--extensions] [--out results.md]
 
 Colocations are written ``Game@WxH`` entries joined with commas; the
@@ -30,6 +32,13 @@ trace files: human summaries, run-to-run regression diffs with
 ``--fail-on`` thresholds, bucket-wise snapshot merging, and exports to
 Prometheus text exposition or Chrome trace format — see
 :mod:`repro.obs`.
+
+``serve --slo-fps TARGET`` attaches a :class:`repro.obs.qos.QoSLedger`
+to every fleet: ground-truth FPS accounting per session (the simulator's
+interference model re-measures each colocation group on every mutation),
+prediction-calibration residuals, and SLO error-budget burn tracking —
+surfaced as the ``qos`` report section and inspected with ``repro slo
+summary`` / ``repro slo diff --fail-on fps_residual_mae:+10%``.
 """
 
 from __future__ import annotations
@@ -152,6 +161,36 @@ def _cmd_predict(args) -> int:
     return 0 if feasible else 2
 
 
+def _parse_number(flag: str, text: str) -> float:
+    """Parse a numeric flag kept as a string so malformed input exits 1.
+
+    argparse's ``type=float`` rejects bad values with its own exit code 2
+    and a usage dump; the serve QoS flags instead follow the repo's
+    one-line ``error:`` convention for malformed user input.
+    """
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"{flag} expects a number, got {text!r}") from None
+
+
+def _parse_slo_flags(args) -> tuple[float | None, float]:
+    """Validate ``--slo-fps`` / ``--qos-budget``; raises ValueError."""
+    slo_fps = None
+    if args.slo_fps is not None:
+        slo_fps = _parse_number("--slo-fps", args.slo_fps)
+        if not slo_fps > 0:
+            raise ValueError(f"--slo-fps must be positive, got {slo_fps:g}")
+    qos_budget = 0.05
+    if args.qos_budget is not None:
+        qos_budget = _parse_number("--qos-budget", args.qos_budget)
+        if not 0.0 < qos_budget <= 1.0:
+            raise ValueError(
+                f"--qos-budget must be in (0, 1], got {qos_budget:g}"
+            )
+    return slo_fps, qos_budget
+
+
 def _cmd_serve(args) -> int:
     from repro.obs import Telemetry, Tracer
     from repro.placement import BreakerConfig, PredictionCache, build_policy
@@ -184,6 +223,10 @@ def _cmd_serve(args) -> int:
         raise ValueError(
             f"--min-healthy-shards must be >= 1, got {args.min_healthy_shards}"
         )
+    slo_fps, qos_budget = _parse_slo_flags(args)
+    if args.qos_budget is not None and slo_fps is None:
+        print("--qos-budget requires --slo-fps", file=sys.stderr)
+        return 2
     if args.rebalance_interval and not args.shards:
         print("--rebalance-interval requires --shards", file=sys.stderr)
         return 2
@@ -194,6 +237,11 @@ def _cmd_serve(args) -> int:
         print("shard chaos flags require --shards", file=sys.stderr)
         return 2
     predictor = InterferencePredictor.load(args.predictor)
+    if slo_fps is not None and predictor.regressor is None:
+        raise ValueError(
+            "--slo-fps needs a predictor bundle with a trained regression "
+            "model (the FPS promise comes from the RM)"
+        )
     trace_config = TraceConfig(
         n_requests=args.requests,
         arrival_rate=args.arrival_rate,
@@ -203,7 +251,10 @@ def _cmd_serve(args) -> int:
     )
     sessions = generate_trace(predictor.db.names(), trace_config)
     if args.shards:
-        return _serve_sharded(args, predictor, sessions, trace_config)
+        return _serve_sharded(
+            args, predictor, sessions, trace_config,
+            slo_fps=slo_fps, qos_budget=qos_budget,
+        )
     telemetry = Telemetry()
     fault_config = FaultConfig(error_rate=args.fault_rate, seed=args.trace_seed)
     injector = (
@@ -234,8 +285,21 @@ def _cmd_serve(args) -> int:
         decision_deadline_s=deadline_s,
         tracer=tracer,
     )
+    ledger = None
+    if slo_fps is not None:
+        from repro.obs import QoSLedger
+
+        ledger = QoSLedger(
+            build_catalog(args.seed),
+            predictor,
+            slo_fps=slo_fps,
+            budget_fraction=qos_budget,
+        )
     broker = RequestBroker(
-        controller, crash_rate=args.crash_rate, crash_seed=args.trace_seed
+        controller,
+        crash_rate=args.crash_rate,
+        crash_seed=args.trace_seed,
+        ledger=ledger,
     )
     report = broker.run(sessions)
     if args.trace_out:
@@ -256,6 +320,11 @@ def _cmd_serve(args) -> int:
         "breaker_threshold": args.breaker_threshold,
         "trace": trace_config.to_dict(),
     }
+    if slo_fps is not None:
+        # QoS keys appear only when the ledger ran, so ledger-less
+        # reports stay byte-identical to previous releases.
+        payload["config"]["slo_fps"] = slo_fps
+        payload["config"]["qos_budget"] = qos_budget
     text = json.dumps(payload, indent=2)
     if args.out:
         with open(args.out, "w") as fh:
@@ -271,7 +340,9 @@ def _shard_trace_path(base: str, shard_id: int) -> str:
     return f"{stem}.shard{shard_id}{ext}"
 
 
-def _serve_sharded(args, predictor, sessions, trace_config) -> int:
+def _serve_sharded(
+    args, predictor, sessions, trace_config, *, slo_fps=None, qos_budget=0.05
+) -> int:
     from repro.obs import Telemetry, Tracer
     from repro.sharding import (
         RebalanceConfig,
@@ -304,12 +375,18 @@ def _serve_sharded(args, predictor, sessions, trace_config) -> int:
         decision_deadline_s=deadline_s,
         breaker_threshold=args.breaker_threshold,
         seed=args.trace_seed,
+        slo_fps=slo_fps,
+        qos_budget=qos_budget,
     )
     shard_tracers = (
         [Tracer(enabled=True) for _ in range(args.shards)] if tracing else None
     )
     brokers = build_shard_brokers(
-        predictor, args.shards, config, tracers=shard_tracers
+        predictor,
+        args.shards,
+        config,
+        tracers=shard_tracers,
+        catalog=build_catalog(args.seed) if slo_fps is not None else None,
     )
     rebalancer = (
         Rebalancer(
@@ -378,6 +455,9 @@ def _serve_sharded(args, predictor, sessions, trace_config) -> int:
         # zero-chaos reports stay byte-identical to pre-supervision runs.
         payload["config"]["shard_chaos"] = chaos_config.to_dict()
         payload["config"]["min_healthy_shards"] = args.min_healthy_shards
+    if slo_fps is not None:
+        payload["config"]["slo_fps"] = slo_fps
+        payload["config"]["qos_budget"] = qos_budget
     _write_or_print(json.dumps(payload, indent=2), args.out)
     return 0
 
@@ -461,6 +541,40 @@ def _cmd_metrics_export(args) -> int:
         )
     _write_or_print(json.dumps(spans_to_chrome(spans), indent=1), args.out)
     return 0
+
+
+def _load_qos(path: str) -> dict:
+    from repro.obs import extract_qos
+
+    with open(path) as fh:
+        payload = json.load(fh)
+    return extract_qos(payload, source=path)
+
+
+def _cmd_slo_summary(args) -> int:
+    from repro.obs import summarize_qos
+
+    for path in args.files:
+        title = path if len(args.files) > 1 else "qos"
+        print(summarize_qos(_load_qos(path), title=title))
+    return 0
+
+
+def _cmd_slo_diff(args) -> int:
+    from repro.obs import check_regressions, diff_qos, parse_fail_spec, render_diff
+
+    specs = [parse_fail_spec(s) for s in args.fail_on]
+    rows = diff_qos(_load_qos(args.old), _load_qos(args.new))
+    print(render_diff(rows, only_changed=not args.all))
+    breaches = check_regressions(rows, specs)
+    for breach in breaches:
+        print(
+            f"REGRESSION {breach['metric']}.{breach['stat']}: "
+            f"{breach['old']:g} -> {breach['new']:g} "
+            f"(breaches {breach['spec']})",
+            file=sys.stderr,
+        )
+    return 3 if breaches else 0
 
 
 def _cmd_experiments(args) -> int:
@@ -607,6 +721,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="healthy-shard floor below which routing falls back to "
         "least-loaded (degraded mode) instead of the hash ring",
     )
+    p.add_argument(
+        "--slo-fps",
+        default=None,
+        metavar="FPS",
+        help="enable the QoS ledger: book ground-truth FPS per session "
+        "against this SLO target and emit a qos report section "
+        "(calibration, burn rate, per-game/per-shard breakdowns)",
+    )
+    p.add_argument(
+        "--qos-budget",
+        default=None,
+        metavar="FRACTION",
+        help="with --slo-fps: error budget as a fraction of each session's "
+        "duration allowed below target before it counts as a breach "
+        "(default 0.05)",
+    )
     p.add_argument("--out", help="write the JSON report here instead of stdout")
     p.add_argument(
         "--trace-out",
@@ -663,6 +793,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     m.add_argument("--out", help="write here instead of stdout")
     m.set_defaults(fn=_cmd_metrics_export)
+
+    p = sub.add_parser(
+        "slo", help="summarize and diff QoS ledger sections from serve reports"
+    )
+    ssub = p.add_subparsers(dest="slo_command", required=True)
+
+    s = ssub.add_parser("summary", help="human-readable qos section summary")
+    s.add_argument(
+        "files", nargs="+", help="serve reports (run with --slo-fps) or snapshots"
+    )
+    s.set_defaults(fn=_cmd_slo_summary)
+
+    s = ssub.add_parser("diff", help="compare two qos sections, gate on drift")
+    s.add_argument("old", help="baseline serve report/snapshot with a qos section")
+    s.add_argument("new", help="candidate serve report/snapshot with a qos section")
+    s.add_argument(
+        "--fail-on",
+        action="append",
+        default=[],
+        metavar="[metric.]stat:+N%",
+        help="exit nonzero when the stat grew by more than N%% "
+        "(e.g. fps_residual_mae:+10%%; repeatable)",
+    )
+    s.add_argument(
+        "--all", action="store_true", help="show unchanged stats too"
+    )
+    s.set_defaults(fn=_cmd_slo_diff)
 
     p = sub.add_parser("experiments", help="run the evaluation harness")
     p.add_argument("--extensions", action="store_true", help="include extensions")

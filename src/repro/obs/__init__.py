@@ -14,7 +14,12 @@ imported by the placement core and both frontends:
   render the Prometheus text exposition, powering the ``repro metrics``
   CLI subcommand;
 * :func:`validate_prometheus` — a tiny exposition-format checker used in
-  tests and CI so exporter output stays parseable.
+  tests and CI so exporter output stays parseable;
+* :class:`QoSLedger` (:mod:`repro.obs.qos`) — ground-truth FPS
+  accounting over fleet mutations: prediction-calibration drift gauges
+  (MAE / bias / p95 residual), SLO error budgets with burn-rate events,
+  and the ``qos`` report section (:func:`build_qos_section`) behind the
+  ``repro slo`` subcommand.
 """
 
 from repro.obs.metrics import (
@@ -24,6 +29,17 @@ from repro.obs.metrics import (
     LatencyHistogram,
     Telemetry,
     label_snapshot,
+)
+from repro.obs.qos import (
+    BURN_RATE_BUCKETS,
+    FPS_RESIDUAL_BUCKETS,
+    QOS_MINUTES_BUCKETS,
+    QoSLedger,
+    build_qos_section,
+    diff_qos,
+    extract_qos,
+    flatten_qos,
+    summarize_qos,
 )
 from repro.obs.snapshots import (
     FailSpec,
@@ -63,4 +79,13 @@ __all__ = [
     "check_regressions",
     "snapshot_to_prometheus",
     "validate_prometheus",
+    "QoSLedger",
+    "build_qos_section",
+    "extract_qos",
+    "flatten_qos",
+    "diff_qos",
+    "summarize_qos",
+    "FPS_RESIDUAL_BUCKETS",
+    "QOS_MINUTES_BUCKETS",
+    "BURN_RATE_BUCKETS",
 ]

@@ -1,0 +1,787 @@
+"""Session QoS ledger: ground-truth FPS accounting and SLO burn tracking.
+
+GAugur's whole premise is that the interference model's FPS predictions
+are trustworthy enough to pack sessions aggressively.  Everything the
+serving stack reports, though, is *about the decision path* — latencies,
+fallbacks, breaker trips — not about whether admitted sessions actually
+received the FPS the predictor promised.  The :class:`QoSLedger` closes
+that loop:
+
+* it observes every fleet mutation (placements, departures, crash and
+  migration evictions) through the :class:`repro.placement.FleetState`
+  observer hooks,
+* recomputes **ground-truth FPS** for every session in each affected
+  colocation group with the simulator's interference model
+  (:func:`repro.simulator.measurement.run_colocation` — the same oracle
+  the offline simulator scores against), and
+* fixes each session's **promise** at admission time: the FPS the
+  predictor's regression model claimed the session would get in its
+  post-placement group.
+
+When a session's record closes (departure, eviction, or end-of-run
+finalization) the ledger books exactly one calibration sample — the
+residual between promise and the session's time-weighted mean actual
+FPS — plus its SLO accounting: minutes spent below the FPS target, an
+error-budget burn rate, and threshold events when the budget is
+exhausted mid-flight.
+
+Everything is recorded into merge-safe :class:`repro.obs.metrics`
+primitives (histograms and counters, never derived gauges), labeled per
+game and genre, so the sharded tier's existing ``label_snapshot`` +
+``merge_snapshots`` machinery yields an exact fleet-wide calibration
+picture: MAE, signed bias and p95 absolute error computed from *merged*
+histograms equal what one giant ledger would have reported.
+:func:`build_qos_section` is the pure snapshot→report half: it derives
+the ``qos`` section of a :class:`~repro.serving.broker.ServingReport`
+from any (possibly merged) telemetry snapshot.
+
+The conservation invariant the CI smoke jobs gate on is structural:
+every ``fleet_placed`` opens exactly one record and every close path
+books exactly one sample, so ``qos_sessions_opened ==
+qos_sessions_closed`` after :meth:`QoSLedger.finalize` — at any scale,
+under any chaos.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import LatencyHistogram, Telemetry
+from repro.obs.tracing import NOOP_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.placement.fleet import Session
+
+__all__ = [
+    "FPS_RESIDUAL_BUCKETS",
+    "QOS_MINUTES_BUCKETS",
+    "BURN_RATE_BUCKETS",
+    "QoSLedger",
+    "build_qos_section",
+    "extract_qos",
+    "flatten_qos",
+    "diff_qos",
+    "summarize_qos",
+]
+
+#: Absolute FPS-residual bucket edges.  The default latency buckets top
+#: out at 1.0 (seconds); residuals live on an FPS scale, so the edges
+#: span sub-frame noise (0.25 FPS) up to a full solo-FPS worth of error.
+FPS_RESIDUAL_BUCKETS: tuple[float, ...] = (
+    0.25, 0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0, 30.0, 50.0, 80.0, 120.0,
+)
+
+#: Bucket edges for per-session minutes (session time and violation
+#: time).  Traces draw durations around a 30-minute mean.
+QOS_MINUTES_BUCKETS: tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 45.0, 60.0, 90.0, 120.0, 180.0, 360.0,
+)
+
+#: Bucket edges for the per-session SLO burn rate
+#: (violation fraction / budget fraction; 1.0 = budget exactly spent).
+BURN_RATE_BUCKETS: tuple[float, ...] = (
+    0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0,
+)
+
+
+@dataclass
+class _OpenRecord:
+    """One session's stint on one server, from placement to close."""
+
+    member_id: int
+    server_id: int
+    session: "Session"
+    entry: tuple
+    genre: str
+    opened_at: float
+    promised_fps: float = 0.0
+    current_fps: float = 0.0
+    last_time: float = 0.0
+    minutes: float = 0.0
+    fps_minutes: float = 0.0
+    violation_minutes: float = 0.0
+    burned: bool = field(default=False)
+
+
+class QoSLedger:
+    """Ground-truth FPS accounting over live fleet mutations.
+
+    Attach one ledger per fleet: pass it as ``FleetState(observer=...)``
+    (the broker and the offline driver both wire this when given a
+    ledger) and drive its clock with :meth:`advance` before each batch
+    of mutations.  The ledger never mutates the fleet; it mirrors
+    membership from the observer callbacks.
+
+    ``slo_fps`` is the per-session FPS target; ``budget_fraction`` the
+    tolerated fraction of a session's lifetime below it (the SLO error
+    budget — 0.05 means 5% of the session may run degraded before the
+    budget burns).  Ground truth uses ``server``/``config`` exactly as
+    :func:`repro.placement.offline.simulate_sessions` does, so a ledger
+    riding the offline simulator reproduces its violation-minutes
+    accounting.
+    """
+
+    def __init__(
+        self,
+        catalog,
+        predictor,
+        *,
+        slo_fps: float,
+        budget_fraction: float = 0.05,
+        server=None,
+        config=None,
+        telemetry: Telemetry | None = None,
+        tracer: Tracer | None = None,
+    ):
+        if not slo_fps > 0:
+            raise ValueError(f"slo_fps must be positive, got {slo_fps}")
+        if not 0.0 < budget_fraction <= 1.0:
+            raise ValueError(
+                f"budget_fraction must be in (0, 1], got {budget_fraction}"
+            )
+        if server is None:
+            from repro.hardware.server import DEFAULT_SERVER
+
+            server = DEFAULT_SERVER
+        if config is None:
+            from repro.simulator.measurement import MeasurementConfig
+
+            config = MeasurementConfig()
+        self.catalog = catalog
+        self.predictor = predictor
+        self.slo_fps = float(slo_fps)
+        self.budget_fraction = float(budget_fraction)
+        self.server = server
+        self.config = config
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self._measured: dict[tuple, tuple[float, ...]] = {}
+        self._promised: dict[tuple, tuple[float, ...]] = {}
+        self._genres: dict[str, str] = {}
+        self.reset()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def reset(self) -> "QoSLedger":
+        """Clear per-run state (open records and the clock), keep caches."""
+        self._servers: dict[int, dict[int, _OpenRecord]] = {}
+        self._now = 0.0
+        self._evict_reason = "evicted"
+        self.opened = 0
+        self.closed = 0
+        return self
+
+    def instrument(self, *, telemetry: Telemetry | None = None,
+                   tracer: Tracer | None = None) -> None:
+        """Redirect output to a caller's telemetry registry and tracer.
+
+        The broker calls this so qos metrics land in the same snapshot
+        as the serving metrics (and therefore in the same Prometheus
+        exposition and the same sharded merge).
+        """
+        if telemetry is not None:
+            self.telemetry = telemetry
+        if tracer is not None:
+            self.tracer = tracer
+
+    def advance(self, now: float) -> None:
+        """Move the ledger clock forward (monotonic; never rewinds)."""
+        if now > self._now:
+            self._now = now
+
+    @property
+    def open_records(self) -> int:
+        """Records placed but not yet closed."""
+        return self.opened - self.closed
+
+    # -- FleetState observer hooks --------------------------------------
+
+    def fleet_placed(self, server_id: int, member_id: int, session: "Session") -> None:
+        """A session was placed (admission, readmission, or migration-in)."""
+        now = self._now
+        members = self._servers.setdefault(server_id, {})
+        self._accrue(members.values(), now)
+        record = _OpenRecord(
+            member_id=member_id,
+            server_id=server_id,
+            session=session,
+            entry=self._entry(session),
+            genre=self._genre(session.game),
+            opened_at=now,
+            last_time=now,
+        )
+        members[member_id] = record
+        self._recompute(server_id, members, op="place")
+        record.promised_fps = self._promise_for(members, record)
+        self.opened += 1
+        t = self.telemetry
+        t.counter("qos_sessions_opened").inc()
+        t.gauge("qos_open_sessions").set(self.open_records)
+
+    def fleet_departed(
+        self, server_id: int, member_id: int, _session: "Session", when: float
+    ) -> None:
+        """A session departed normally at ``when``."""
+        members = self._servers.get(server_id)
+        if members is None or member_id not in members:
+            return
+        self._accrue(members.values(), when)
+        record = members.pop(member_id)
+        self._close(record, reason="departed")
+        if members:
+            self._recompute(server_id, members, op="depart")
+        else:
+            del self._servers[server_id]
+
+    def fleet_evicted(self, server_id: int, members: list) -> None:
+        """A whole server was evicted (crash or planned migration)."""
+        open_members = self._servers.pop(server_id, None)
+        if open_members is None:
+            return
+        now = self._now
+        self._accrue(open_members.values(), now)
+        reason = self._evict_reason
+        self._evict_reason = "evicted"
+        for member_id, _ in members:
+            record = open_members.pop(member_id, None)
+            if record is not None:
+                self._close(record, reason=reason)
+        # Anything the fleet did not report (should not happen) still
+        # closes, so conservation cannot silently break.
+        for member_id in sorted(open_members):
+            self._close(open_members[member_id], reason=reason)
+
+    def mark_eviction(self, reason: str) -> None:
+        """Label the *next* eviction's close reason (e.g. ``"migrated"``).
+
+        Consumed by the following :meth:`fleet_evicted`; resets to the
+        default ``"evicted"`` afterwards.
+        """
+        self._evict_reason = str(reason)
+
+    def finalize(self) -> None:
+        """Close every still-open record at its own departure time.
+
+        Called when the trace ends: remaining sessions run to their
+        scheduled departures, shrinking each group in departure order so
+        late sessions are credited with the (faster) thinner groups,
+        exactly as the fleet would have retired them.
+        """
+        pending = [
+            (record.session.departure, record.member_id, server_id)
+            for server_id, members in self._servers.items()
+            for record in members.values()
+        ]
+        heapq.heapify(pending)
+        while pending:
+            when, member_id, server_id = heapq.heappop(pending)
+            members = self._servers.get(server_id)
+            if members is None or member_id not in members:
+                continue
+            self._accrue(members.values(), when)
+            record = members.pop(member_id)
+            self._close(record, reason="departed")
+            if members:
+                self._recompute(server_id, members, op="finalize")
+            else:
+                del self._servers[server_id]
+        self.telemetry.gauge("qos_open_sessions").set(self.open_records)
+
+    # -- report ---------------------------------------------------------
+
+    def section(self, snapshot: dict | None = None) -> dict:
+        """The ``qos`` report section for this ledger's telemetry."""
+        if snapshot is None:
+            snapshot = self.telemetry.snapshot()
+        built = build_qos_section(
+            snapshot, slo_fps=self.slo_fps, budget_fraction=self.budget_fraction
+        )
+        return built if built is not None else {}
+
+    # -- internals ------------------------------------------------------
+
+    def _entry(self, session: "Session") -> tuple:
+        from repro.placement.signature import entry_of
+
+        return entry_of(session)
+
+    def _genre(self, game: str) -> str:
+        genre = self._genres.get(game)
+        if genre is None:
+            spec = self.catalog.get(game)
+            raw = getattr(spec, "genre", None)
+            genre = str(getattr(raw, "value", raw)) if raw is not None else "unknown"
+            self._genres[game] = genre
+        return genre
+
+    def _accrue(self, records, until: float) -> None:
+        """Advance every record's integrals to ``until`` at current FPS."""
+        for record in records:
+            dt = until - record.last_time
+            if dt <= 0:
+                continue
+            record.last_time = until
+            record.minutes += dt
+            record.fps_minutes += dt * record.current_fps
+            if record.current_fps < self.slo_fps:
+                record.violation_minutes += dt
+                if not record.burned:
+                    budget = self.budget_fraction * record.session.duration
+                    if record.violation_minutes > budget:
+                        record.burned = True
+                        self._burn_event(record, until)
+
+    def _burn_event(self, record: _OpenRecord, when: float) -> None:
+        t = self.telemetry
+        t.counter("slo_burn_events").inc()
+        t.counter("slo_burn_events", game=record.session.game).inc()
+        t.counter("slo_burn_events", genre=record.genre).inc()
+        t.event(
+            "slo_burn",
+            time=when,
+            game=record.session.game,
+            server_id=record.server_id,
+            violation_minutes=record.violation_minutes,
+            budget_minutes=self.budget_fraction * record.session.duration,
+        )
+        self.tracer.instant(
+            "slo_burn", game=record.session.game, server_id=record.server_id
+        )
+
+    def _group_signature(self, members) -> tuple[tuple, ...]:
+        """Canonical signature of a live group, slot-aligned with members.
+
+        Members sort by (entry, member_id): identical entries (same game
+        and resolution colocated twice) map onto the measurement's slots
+        in admission order, so per-slot simulator noise lands on a
+        deterministic session.
+        """
+        ordered = sorted(members, key=lambda r: (r.entry, r.member_id))
+        return tuple(r.entry for r in ordered), ordered
+
+    def _recompute(self, server_id: int, members: dict, *, op: str) -> None:
+        """Refresh every member's current ground-truth FPS for the group."""
+        sig, ordered = self._group_signature(members.values())
+        cached = sig in self._measured
+        with self.tracer.span(
+            "qos", op=op, server_id=server_id, group=len(ordered), cached=cached
+        ):
+            fps = self._measure(sig)
+        for record, value in zip(ordered, fps):
+            record.current_fps = value
+
+    def _measure(self, sig: tuple) -> tuple[float, ...]:
+        fps = self._measured.get(sig)
+        if fps is None:
+            from repro.core.training import ColocationSpec
+            from repro.simulator.measurement import run_colocation
+
+            result = run_colocation(
+                ColocationSpec(sig).instances(self.catalog),
+                server=self.server,
+                config=self.config,
+            )
+            fps = tuple(float(f) for f in result.fps)
+            self._measured[sig] = fps
+            self.telemetry.counter("qos_measurements").inc()
+        return fps
+
+    def _promise_for(self, members: dict, record: _OpenRecord) -> float:
+        """The predictor's FPS claim for ``record`` in its current group."""
+        sig, ordered = self._group_signature(members.values())
+        promised = self._promised.get(sig)
+        if promised is None:
+            from repro.core.training import ColocationSpec
+
+            predicted = self.predictor.predict_fps(ColocationSpec(sig))
+            promised = tuple(float(f) for f in predicted)
+            self._promised[sig] = promised
+            self.telemetry.counter("qos_predictions").inc()
+        slot = next(
+            i for i, r in enumerate(ordered) if r.member_id == record.member_id
+        )
+        return promised[slot]
+
+    def _close(self, record: _OpenRecord, *, reason: str) -> None:
+        """Book the record's single calibration + SLO sample."""
+        minutes = record.minutes
+        actual = record.fps_minutes / minutes if minutes > 0 else record.current_fps
+        residual = record.promised_fps - actual
+        game = record.session.game
+        genre = record.genre
+        t = self.telemetry
+        name = (
+            "fps_residual_overpredict" if residual >= 0 else "fps_residual_underpredict"
+        )
+        for labels in ({}, {"game": game}, {"genre": genre}):
+            t.histogram("fps_residual_abs", FPS_RESIDUAL_BUCKETS, **labels).observe(
+                abs(residual)
+            )
+            t.histogram(name, FPS_RESIDUAL_BUCKETS, **labels).observe(abs(residual))
+            t.histogram(
+                "qos_session_minutes", QOS_MINUTES_BUCKETS, **labels
+            ).observe(minutes)
+            t.histogram(
+                "qos_violation_minutes", QOS_MINUTES_BUCKETS, **labels
+            ).observe(record.violation_minutes)
+        violation_fraction = record.violation_minutes / minutes if minutes > 0 else 0.0
+        burn_rate = violation_fraction / self.budget_fraction
+        t.histogram("slo_burn_rate", BURN_RATE_BUCKETS).observe(burn_rate)
+        if violation_fraction > self.budget_fraction:
+            t.counter("slo_breaches").inc()
+            t.counter("slo_breaches", game=game).inc()
+            t.counter("slo_breaches", genre=genre).inc()
+        t.counter("qos_sessions_closed").inc()
+        t.counter("qos_sessions_closed", reason=reason).inc()
+        self.closed += 1
+        t.gauge("qos_open_sessions").set(self.open_records)
+
+
+# ----------------------------------------------------------------------
+# Snapshot -> qos report section.  Pure functions over plain dicts, so
+# they apply equally to live telemetry, loaded JSON files, and merged
+# multi-shard snapshots.
+
+
+_QOS_HISTOGRAMS = (
+    "fps_residual_abs",
+    "fps_residual_overpredict",
+    "fps_residual_underpredict",
+    "qos_session_minutes",
+    "qos_violation_minutes",
+)
+
+
+def _hist(data: dict | None, name: str) -> LatencyHistogram | None:
+    return LatencyHistogram.from_dict(name, data) if data else None
+
+
+def _calibration_stats(abs_h, over_h, under_h) -> dict:
+    n = abs_h.count if abs_h is not None else 0
+    over_total = over_h.total if over_h is not None else 0.0
+    under_total = under_h.total if under_h is not None else 0.0
+    return {
+        "samples": n,
+        "fps_residual_mae": abs_h.mean if abs_h is not None else 0.0,
+        "fps_residual_bias": (over_total - under_total) / n if n else 0.0,
+        "fps_residual_p95": abs_h.quantile(0.95) if n else 0.0,
+        "overpredictions": over_h.count if over_h is not None else 0,
+        "underpredictions": under_h.count if under_h is not None else 0,
+    }
+
+
+def _slo_stats(sess_h, viol_h, breaches: int) -> dict:
+    session_minutes = sess_h.total if sess_h is not None else 0.0
+    violation_minutes = viol_h.total if viol_h is not None else 0.0
+    return {
+        "session_minutes": session_minutes,
+        "violation_minutes": violation_minutes,
+        "violation_fraction": (
+            violation_minutes / session_minutes if session_minutes else 0.0
+        ),
+        "breaches": breaches,
+    }
+
+
+def _labeled_groups(snapshot: dict, label: str, *, forbid: tuple[str, ...]) -> dict:
+    """Group labeled qos children by ``labels[label]``.
+
+    Children carrying any ``forbid`` label are skipped (a per-shard
+    group must not double-count the per-game children that also carry a
+    ``shard`` label); extra bookkeeping labels like ``health`` are
+    tolerated and merged across.
+    """
+    labeled = snapshot.get("labeled", {})
+    groups: dict[str, dict] = {}
+
+    def bucket(value: str) -> dict:
+        return groups.setdefault(value, {"histograms": {}, "counters": {}})
+
+    for name in _QOS_HISTOGRAMS:
+        for entry in labeled.get("histograms", {}).get(name, ()):
+            labels = entry.get("labels", {})
+            if label not in labels or any(f in labels for f in forbid):
+                continue
+            slot = bucket(labels[label])["histograms"]
+            hist = LatencyHistogram.from_dict(name, entry)
+            if name in slot:
+                slot[name].merge(hist)
+            else:
+                slot[name] = hist
+    for name in ("slo_breaches", "qos_sessions_opened", "qos_sessions_closed",
+                 "slo_burn_events"):
+        for entry in labeled.get("counters", {}).get(name, ()):
+            labels = entry.get("labels", {})
+            if label not in labels or any(f in labels for f in forbid):
+                continue
+            counters = bucket(labels[label])["counters"]
+            counters[name] = counters.get(name, 0) + entry.get("value", 0)
+    return groups
+
+
+def _group_section(groups: dict) -> dict:
+    out = {}
+    for value in sorted(groups):
+        hists = groups[value]["histograms"]
+        counters = groups[value]["counters"]
+        abs_h = hists.get("fps_residual_abs")
+        stats = _calibration_stats(
+            abs_h,
+            hists.get("fps_residual_overpredict"),
+            hists.get("fps_residual_underpredict"),
+        )
+        stats.update(
+            _slo_stats(
+                hists.get("qos_session_minutes"),
+                hists.get("qos_violation_minutes"),
+                counters.get("slo_breaches", 0),
+            )
+        )
+        stats["burn_events"] = counters.get("slo_burn_events", 0)
+        if "qos_sessions_opened" in counters:
+            # Only shard groups carry the ledger lifecycle counters (they
+            # are unlabeled per broker and gain the shard label on merge);
+            # surface per-shard conservation alongside the stats.
+            stats["opened"] = counters.get("qos_sessions_opened", 0)
+            stats["closed"] = counters.get("qos_sessions_closed", 0)
+        out[value] = stats
+    return out
+
+
+def build_qos_section(
+    snapshot: dict,
+    *,
+    slo_fps: float | None = None,
+    budget_fraction: float | None = None,
+) -> dict | None:
+    """Derive the ``qos`` report section from a telemetry snapshot.
+
+    Works on a single broker's snapshot or on the sharded tier's merged
+    snapshot: fleet-wide stats come from the top-level histograms, and
+    the per-game / per-genre / per-shard breakdowns from the labeled
+    children (exact under ``merge_snapshots``, because every stat is
+    derived from histogram totals and counts, never re-averaged).
+    Returns ``None`` when the snapshot carries no qos instruments (the
+    ledger was not enabled).
+    """
+    counters = snapshot.get("counters", {})
+    hists = snapshot.get("histograms", {})
+    if "qos_sessions_opened" not in counters and "fps_residual_abs" not in hists:
+        return None
+    opened = int(counters.get("qos_sessions_opened", 0))
+    closed = int(counters.get("qos_sessions_closed", 0))
+    calibration = _calibration_stats(
+        _hist(hists.get("fps_residual_abs"), "fps_residual_abs"),
+        _hist(hists.get("fps_residual_overpredict"), "fps_residual_overpredict"),
+        _hist(hists.get("fps_residual_underpredict"), "fps_residual_underpredict"),
+    )
+    slo = {}
+    if slo_fps is not None:
+        slo["target_fps"] = float(slo_fps)
+    if budget_fraction is not None:
+        slo["budget_fraction"] = float(budget_fraction)
+    slo.update(
+        _slo_stats(
+            _hist(hists.get("qos_session_minutes"), "qos_session_minutes"),
+            _hist(hists.get("qos_violation_minutes"), "qos_violation_minutes"),
+            int(counters.get("slo_breaches", 0)),
+        )
+    )
+    slo["burn_events"] = int(counters.get("slo_burn_events", 0))
+    burn_h = _hist(hists.get("slo_burn_rate"), "slo_burn_rate")
+    slo["burn_rate_p50"] = burn_h.quantile(0.5) if burn_h is not None else 0.0
+    slo["burn_rate_p99"] = burn_h.quantile(0.99) if burn_h is not None else 0.0
+    close_reasons: dict[str, int] = {}
+    for entry in snapshot.get("labeled", {}).get("counters", {}).get(
+        "qos_sessions_closed", ()
+    ):
+        labels = entry.get("labels", {})
+        reason = labels.get("reason")
+        if reason is not None:
+            close_reasons[reason] = close_reasons.get(reason, 0) + entry.get("value", 0)
+    section = {
+        "sessions": {
+            "opened": opened,
+            "closed": closed,
+            "conservation_errors": abs(opened - closed),
+            "close_reasons": {k: close_reasons[k] for k in sorted(close_reasons)},
+            "measurements": int(counters.get("qos_measurements", 0)),
+            "predictions": int(counters.get("qos_predictions", 0)),
+        },
+        "calibration": calibration,
+        "slo": slo,
+        "per_game": _group_section(
+            _labeled_groups(snapshot, "game", forbid=("genre", "reason"))
+        ),
+        "per_genre": _group_section(
+            _labeled_groups(snapshot, "genre", forbid=("game", "reason"))
+        ),
+        "per_shard": _group_section(
+            _labeled_groups(snapshot, "shard", forbid=("game", "genre", "reason"))
+        ),
+    }
+    return section
+
+
+def extract_qos(payload: dict, source: str = "payload") -> dict:
+    """Find (or rebuild) the qos section inside a loaded JSON payload.
+
+    Accepts a full serving report (``qos`` key), a bare qos section, a
+    report with only telemetry, or a bare telemetry snapshot — the same
+    flexibility ``repro metrics`` affords with :func:`load_snapshot`.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"{source}: expected a JSON object")
+    qos = payload.get("qos")
+    if isinstance(qos, dict) and qos:
+        return qos
+    if "calibration" in payload and "sessions" in payload:
+        return payload
+    snapshot = payload.get("telemetry", payload)
+    built = build_qos_section(snapshot) if isinstance(snapshot, dict) else None
+    if built is None:
+        raise ValueError(
+            f"{source}: no qos section found (was the run started with --slo-fps?)"
+        )
+    return built
+
+
+# -- diffing ------------------------------------------------------------
+
+_NUMERIC = (int, float)
+
+
+def flatten_qos(section: dict) -> dict[tuple[str, str], float]:
+    """Flatten a qos section into ``(metric, stat) -> value`` rows.
+
+    ``metric`` is the dotted group path (``calibration``,
+    ``per_game.Dota2``, ...), ``stat`` the leaf key — the same shape
+    :func:`repro.obs.snapshots.check_regressions` consumes, so
+    ``repro slo diff --fail-on fps_residual_mae:+10%`` reuses the
+    metrics gate machinery unchanged.
+    """
+    rows: dict[tuple[str, str], float] = {}
+
+    def emit(metric: str, stats: dict) -> None:
+        for stat, value in stats.items():
+            if isinstance(value, _NUMERIC) and not isinstance(value, bool):
+                rows[(metric, stat)] = float(value)
+
+    for group in ("sessions", "calibration", "slo"):
+        if isinstance(section.get(group), dict):
+            emit(group, section[group])
+    reasons = section.get("sessions", {}).get("close_reasons", {})
+    if isinstance(reasons, dict):
+        emit("sessions.close_reasons", reasons)
+    for group in ("per_game", "per_genre", "per_shard"):
+        for value, stats in section.get(group, {}).items():
+            emit(f"{group}.{value}", stats)
+    return rows
+
+
+def diff_qos(old: dict, new: dict) -> list[dict]:
+    """Row-wise diff of two qos sections (union of keys, old-first order)."""
+    old_rows = flatten_qos(old)
+    new_rows = flatten_qos(new)
+    rows = []
+    for metric, stat in sorted(set(old_rows) | set(new_rows)):
+        old_value = old_rows.get((metric, stat), 0.0)
+        new_value = new_rows.get((metric, stat), 0.0)
+        if new_value == old_value:
+            # Covers inf == inf (overflowed histogram quantiles), where
+            # naive subtraction would yield nan and read as a change.
+            delta, ratio = 0.0, 1.0
+        elif old_value:
+            delta = new_value - old_value
+            ratio = new_value / old_value
+        else:
+            delta = new_value - old_value
+            ratio = math.inf
+        rows.append(
+            {
+                "metric": metric,
+                "stat": stat,
+                "old": old_value,
+                "new": new_value,
+                "delta": delta,
+                "ratio": ratio,
+            }
+        )
+    return rows
+
+
+# -- rendering ----------------------------------------------------------
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def summarize_qos(section: dict, title: str = "qos") -> str:
+    """Human-readable multi-line summary of a qos section."""
+    lines = [f"== {title} =="]
+    sessions = section.get("sessions", {})
+    lines.append(
+        "sessions: opened={opened} closed={closed} conservation_errors={err}".format(
+            opened=sessions.get("opened", 0),
+            closed=sessions.get("closed", 0),
+            err=sessions.get("conservation_errors", 0),
+        )
+    )
+    reasons = sessions.get("close_reasons", {})
+    if reasons:
+        pairs = " ".join(f"{k}={reasons[k]}" for k in sorted(reasons))
+        lines.append(f"  close reasons: {pairs}")
+    calibration = section.get("calibration", {})
+    if calibration:
+        lines.append(
+            "calibration: n={n} mae={mae} bias={bias} p95={p95}".format(
+                n=calibration.get("samples", 0),
+                mae=_fmt(calibration.get("fps_residual_mae", 0.0)),
+                bias=_fmt(calibration.get("fps_residual_bias", 0.0)),
+                p95=_fmt(calibration.get("fps_residual_p95", 0.0)),
+            )
+        )
+    slo = section.get("slo", {})
+    if slo:
+        target = slo.get("target_fps")
+        head = f"slo (target {_fmt(target)} fps)" if target is not None else "slo"
+        lines.append(
+            "{head}: violation_minutes={viol}/{total} ({frac}) "
+            "breaches={breaches} burn_events={burns}".format(
+                head=head,
+                viol=_fmt(slo.get("violation_minutes", 0.0)),
+                total=_fmt(slo.get("session_minutes", 0.0)),
+                frac=_fmt(slo.get("violation_fraction", 0.0)),
+                breaches=slo.get("breaches", 0),
+                burns=slo.get("burn_events", 0),
+            )
+        )
+    for group, header in (
+        ("per_game", "per game"),
+        ("per_genre", "per genre"),
+        ("per_shard", "per shard"),
+    ):
+        entries = section.get(group, {})
+        if not entries:
+            continue
+        lines.append(f"{header}:")
+        for value in sorted(entries):
+            stats = entries[value]
+            lines.append(
+                "  {value}: n={n} mae={mae} bias={bias} "
+                "violation={viol} breaches={breaches}".format(
+                    value=value,
+                    n=stats.get("samples", 0),
+                    mae=_fmt(stats.get("fps_residual_mae", 0.0)),
+                    bias=_fmt(stats.get("fps_residual_bias", 0.0)),
+                    viol=_fmt(stats.get("violation_fraction", 0.0)),
+                    breaches=stats.get("breaches", 0),
+                )
+            )
+    return "\n".join(lines)

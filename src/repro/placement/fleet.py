@@ -17,6 +17,12 @@ an existing server or a fresh one), :meth:`pop_departures` (retire
 sessions whose time has come), and :meth:`crash` (evict a whole server)
 — which is what lets :class:`repro.placement.DecisionEngine` be the only
 place placement decisions turn into fleet changes.
+
+An optional *observer* (duck-typed: ``fleet_placed`` /
+``fleet_departed`` / ``fleet_evicted``) is notified synchronously after
+each mutation with the stable member ids involved — the hook the QoS
+ledger (:class:`repro.obs.qos.QoSLedger`) uses to mirror group
+composition without the fleet knowing anything about QoS.
 """
 
 from __future__ import annotations
@@ -63,7 +69,10 @@ class FleetState:
     the :meth:`signatures` list of the same instant.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, observer=None) -> None:
+        # Duck-typed mutation observer (fleet_placed / fleet_departed /
+        # fleet_evicted), or None for zero-overhead operation.
+        self.observer = observer
         # server id -> members as (member_id, session), departure-ordered.
         self._servers: dict[int, list[tuple[int, Session]]] = {}
         self._departures: list[tuple[float, int, int]] = []  # (time, seq, server)
@@ -141,6 +150,8 @@ class FleetState:
         self._seq += 1
         self._n_live += 1
         self.peak = max(self.peak, len(self._servers))
+        if self.observer is not None:
+            self.observer.fleet_placed(server_id, member[0], session)
         return server_id
 
     def pop_departures(
@@ -164,10 +175,12 @@ class FleetState:
                 continue
             if before_each is not None:
                 before_each(t)
-            members.pop(0)
+            member_id, session = members.pop(0)
             if not members:
                 del self._servers[server_id]
             removed += 1
+            if self.observer is not None:
+                self.observer.fleet_departed(server_id, member_id, session, t)
         self._n_live -= removed
         return removed
 
@@ -183,4 +196,7 @@ class FleetState:
         """
         members = self._servers.pop(server_id)
         self._n_live -= len(members)
-        return [s for _, s in sorted(members, key=lambda m: m[0])]
+        ordered = sorted(members, key=lambda m: m[0])
+        if self.observer is not None:
+            self.observer.fleet_evicted(server_id, ordered)
+        return [s for _, s in ordered]

@@ -72,6 +72,7 @@ def simulate_sessions(
     server: ServerSpec = DEFAULT_SERVER,
     config: MeasurementConfig | None = None,
     telemetry=None,
+    ledger=None,
 ) -> DynamicMetrics:
     """Event-driven simulation of a placement policy over a session trace.
 
@@ -88,6 +89,13 @@ def simulate_sessions(
     ``sim_decision_s``, with ``sim_arrivals``/``sim_measurements``
     counters — the same instruments the online broker records, so offline
     and serving runs are comparable in ``repro metrics diff``.
+
+    ``ledger`` (a :class:`repro.obs.qos.QoSLedger`) rides the fleet as a
+    mutation observer and books per-session calibration and SLO samples
+    against the same ground-truth oracle this driver scores with — a
+    ledger built with the same ``server``/``config``/target reproduces
+    this function's violation-minutes accounting, which the qos test
+    suite cross-checks.
     """
     member: AdmissionPolicy = (
         policy if callable(getattr(policy, "select", None))
@@ -96,7 +104,7 @@ def simulate_sessions(
     # The engine keeps its own private telemetry: the caller-visible
     # snapshot carries exactly the sim_* instruments documented above.
     engine = DecisionEngine(member, strict=True)
-    fleet = FleetState()
+    fleet = FleetState(observer=ledger)
 
     sessions = sorted(sessions, key=lambda s: s.arrival)
     fps_cache: dict[Signature, tuple[float, ...]] = {}
@@ -127,6 +135,8 @@ def simulate_sessions(
 
     for session in sessions:
         round_start = _time.perf_counter()
+        if ledger is not None:
+            ledger.advance(session.arrival)
         fleet.pop_departures(session.arrival, before_each=accrue)
         accrue(session.arrival)
         if telemetry is not None:
@@ -143,8 +153,12 @@ def simulate_sessions(
             engine.admit(fleet, session)
 
     end = max(s.departure for s in sessions)
+    if ledger is not None:
+        ledger.advance(end)
     fleet.pop_departures(end, before_each=accrue)
     accrue(end)
+    if ledger is not None:
+        ledger.finalize()
 
     return DynamicMetrics(
         n_sessions=len(sessions),

@@ -98,6 +98,7 @@ class ServingReport:
     resilience: dict = field(default_factory=dict)
     migrations: list[PlacementRecord] = field(default_factory=list)
     n_arrivals: int = 0
+    qos: dict = field(default_factory=dict)
 
     @property
     def n_sessions(self) -> int:
@@ -117,8 +118,13 @@ class ServingReport:
         return [p.server_id for p in self.placements]
 
     def to_dict(self) -> dict:
-        """JSON-able summary including per-session placements."""
-        return {
+        """JSON-able summary including per-session placements.
+
+        The ``qos`` key appears only when a :class:`~repro.obs.qos.QoSLedger`
+        rode the run — reports from ledger-less runs stay byte-identical
+        to previous releases.
+        """
+        payload = {
             "n_sessions": self.n_sessions,
             "servers_opened": self.servers_opened,
             "peak_servers": self.peak_servers,
@@ -128,6 +134,9 @@ class ServingReport:
             "resilience": self.resilience,
             "telemetry": self.telemetry,
         }
+        if self.qos:
+            payload["qos"] = self.qos
+        return payload
 
 
 class RequestBroker:
@@ -152,6 +161,7 @@ class RequestBroker:
         crash_seed: int = 0,
         tracer: Tracer | None = None,
         keep_records: bool = True,
+        ledger=None,
     ):
         if not 0.0 <= crash_rate <= 1.0:
             raise ValueError(f"crash_rate must be in [0, 1], got {crash_rate}")
@@ -165,7 +175,13 @@ class RequestBroker:
         if tracer is not None:
             controller.set_tracer(tracer)
         self.tracer = controller.tracer
-        self.fleet = FleetState()
+        # Optional QoS ledger (repro.obs.qos.QoSLedger): rides the fleet
+        # as a mutation observer and records into the controller's
+        # telemetry so qos metrics land in the same snapshot/merge.
+        self.ledger = ledger
+        if ledger is not None:
+            ledger.instrument(telemetry=controller.telemetry, tracer=self.tracer)
+        self.fleet = FleetState(observer=ledger)
         self._placements: list[PlacementRecord] = []
         self._readmissions: list[PlacementRecord] = []
         self._migrations: list[PlacementRecord] = []
@@ -182,7 +198,9 @@ class RequestBroker:
         order, then :meth:`finish`.  :meth:`run` does exactly this over a
         sorted trace.
         """
-        self.fleet = FleetState()
+        if self.ledger is not None:
+            self.ledger.reset()
+        self.fleet = FleetState(observer=self.ledger)
         self._placements = []
         self._readmissions = []
         self._migrations = []
@@ -201,6 +219,8 @@ class RequestBroker:
         the sharded tier) — it labels records, events and spans but never
         influences a decision.
         """
+        if self.ledger is not None:
+            self.ledger.advance(session.arrival)
         removed = self.fleet.pop_departures(session.arrival)
         if removed:
             self.controller.telemetry.counter("departures").inc(removed)
@@ -213,6 +233,8 @@ class RequestBroker:
 
     def finish(self) -> ServingReport:
         """Snapshot telemetry and assemble the :class:`ServingReport`."""
+        if self.ledger is not None:
+            self.ledger.finalize()
         telemetry = self.controller.telemetry
         snapshot = telemetry.snapshot()
         snapshot["caches"] = {
@@ -238,6 +260,7 @@ class RequestBroker:
             resilience=resilience,
             migrations=self._migrations,
             n_arrivals=self._n_arrivals,
+            qos=self.ledger.section(snapshot) if self.ledger is not None else {},
         )
 
     # -- migration hooks (driven by repro.sharding.Rebalancer) ----------
@@ -255,6 +278,11 @@ class RequestBroker:
         ``"failover"``) is stamped onto the event; the default leaves
         the event byte-identical to pre-supervision runs.
         """
+        if self.ledger is not None:
+            self.ledger.advance(now)
+            self.ledger.mark_eviction(
+                "migrated" if reason == "migration" else reason
+            )
         evicted = self.fleet.crash(server_id)
         t = self.controller.telemetry
         t.counter("migrations").inc()
@@ -272,14 +300,19 @@ class RequestBroker:
         return evicted
 
     def admit_migrations(
-        self, sessions: Sequence[Session], index: int
+        self, sessions: Sequence[Session], index: int, *, now: float | None = None
     ) -> list[PlacementRecord]:
         """Admit sessions arriving from another shard (destination side).
 
         Each placement is counted as ``sessions_migrated_in`` and
         recorded with ``migrated=True`` — the readmission path's twin,
-        with its own ledger.
+        with its own ledger.  ``now`` is the barrier time on the
+        caller's clock; it advances the QoS ledger so migrated-in
+        sessions open their records at the barrier instant rather than
+        at this broker's last arrival.
         """
+        if self.ledger is not None and now is not None:
+            self.ledger.advance(now)
         t = self.controller.telemetry
         records = []
         for session in sessions:

@@ -79,6 +79,13 @@ class ShardConfig:
     breaker_threshold: float = 0.5
     seed: int = 0
     keep_records: bool = True
+    #: Per-session FPS target for the QoS ledger; ``None`` disables
+    #: ground-truth accounting entirely (zero overhead, byte-identical
+    #: reports to pre-ledger runs).
+    slo_fps: float | None = None
+    #: SLO error budget: tolerated fraction of a session's lifetime below
+    #: ``slo_fps`` before its budget burns.
+    qos_budget: float = 0.05
 
 
 def build_shard_brokers(
@@ -87,6 +94,7 @@ def build_shard_brokers(
     config: ShardConfig | None = None,
     *,
     tracers: Sequence[Tracer] | None = None,
+    catalog=None,
 ) -> list[RequestBroker]:
     """Build ``n_shards`` independent broker stacks over one predictor.
 
@@ -95,6 +103,11 @@ def build_shard_brokers(
     immutable inputs — profile database and trained models — are shared
     through a per-shard :class:`~repro.core.InterferencePredictor`
     facade, so instrumentation and caches never cross shard boundaries.
+
+    With ``config.slo_fps`` set, each shard additionally carries its own
+    :class:`~repro.obs.qos.QoSLedger` over ``catalog`` (required then):
+    qos metrics stay shard-private like every other mutable piece and
+    merge exactly through the labeled-snapshot machinery.
     """
     from repro.core.predictor import InterferencePredictor
     from repro.placement import BreakerConfig, PredictionCache, build_policy
@@ -106,6 +119,8 @@ def build_shard_brokers(
     if tracers is not None and len(tracers) != n_shards:
         raise ValueError(f"need {n_shards} tracers, got {len(tracers)}")
     config = config if config is not None else ShardConfig()
+    if config.slo_fps is not None and catalog is None:
+        raise ValueError("slo_fps accounting needs a game catalog")
     brokers = []
     for shard_id in range(n_shards):
         telemetry = Telemetry()
@@ -139,12 +154,23 @@ def build_shard_brokers(
             decision_deadline_s=config.decision_deadline_s,
             tracer=tracers[shard_id] if tracers is not None else None,
         )
+        ledger = None
+        if config.slo_fps is not None:
+            from repro.obs.qos import QoSLedger
+
+            ledger = QoSLedger(
+                catalog,
+                facade,
+                slo_fps=config.slo_fps,
+                budget_fraction=config.qos_budget,
+            )
         brokers.append(
             RequestBroker(
                 controller,
                 crash_rate=config.crash_rate,
                 crash_seed=derive_seed(config.seed, "shard", shard_id),
                 keep_records=config.keep_records,
+                ledger=ledger,
             )
         )
     return brokers
@@ -166,6 +192,7 @@ class ShardedReport:
     telemetry: dict = field(default_factory=dict)
     coordinator: dict = field(default_factory=dict)
     supervision: dict = field(default_factory=dict)
+    qos: dict = field(default_factory=dict)
 
     @property
     def n_shards(self) -> int:
@@ -230,6 +257,8 @@ class ShardedReport:
         }
         if self.supervision:
             out["supervision"] = self.supervision
+        if self.qos:
+            out["qos"] = self.qos
         return out
 
 
@@ -416,9 +445,24 @@ class ShardedBroker:
                 labels = {"shard": shard_id}
             labeled.append(label_snapshot(report.telemetry, **labels))
         merged = merge_all(labeled)
+        # Fleet-wide qos: derived from the *merged* snapshot, so the
+        # calibration stats are exactly what one giant ledger would have
+        # reported (every stat reduces to histogram totals/counts).
+        qos: dict = {}
+        ledgers = [b.ledger for b in self.brokers if b.ledger is not None]
+        if ledgers:
+            from repro.obs.qos import build_qos_section
+
+            built = build_qos_section(
+                merged,
+                slo_fps=ledgers[0].slo_fps,
+                budget_fraction=ledgers[0].budget_fraction,
+            )
+            qos = built if built is not None else {}
         return ShardedReport(
             shard_reports=reports,
             telemetry=merged,
             coordinator=self.telemetry.snapshot(),
             supervision=self.supervisor.snapshot() if self._supervising else {},
+            qos=qos,
         )

@@ -126,7 +126,7 @@ class Rebalancer:
                 sessions = brokers[hot].evict_for_migration(
                     victim, now=now, index=index
                 )
-                brokers[cold].admit_migrations(sessions, index)
+                brokers[cold].admit_migrations(sessions, index, now=now)
                 span.set(sessions=len(sessions))
             self.telemetry.counter("rebalance_migrations").inc()
             self.telemetry.counter("rebalance_sessions_moved").inc(len(sessions))

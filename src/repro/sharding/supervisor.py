@@ -288,7 +288,7 @@ class ShardSupervisor:
                 dest = self._destination(session, router, brokers)
                 per_dest.setdefault(dest, []).append(session)
             for dest in sorted(per_dest):
-                brokers[dest].admit_migrations(per_dest[dest], index)
+                brokers[dest].admit_migrations(per_dest[dest], index, now=now)
             self.telemetry.counter("sessions_failed_over").inc(len(evicted))
             span.set(destinations=sorted(per_dest))
         self.telemetry.event(

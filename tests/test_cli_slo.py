@@ -1,0 +1,192 @@
+"""Tests for the SLO-facing CLI surface: serve --slo-fps and repro slo.
+
+Flag validation must fail fast with one-line errors (exit 1 for bad
+values, exit 2 for bad flag combinations), and the slo summary/diff
+subcommands must gate on calibration drift exactly like the acceptance
+pipeline does (exit 3 on a breached --fail-on spec).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def predictor_path(minilab, tmp_path):
+    """The minilab's trained predictor saved as a CLI-loadable bundle."""
+    path = tmp_path / "predictor.json"
+    minilab.predictor.save(path)
+    return str(path)
+
+
+def serve(predictor_path, tmp_path, *extra):
+    out = tmp_path / "report.json"
+    rc = main(
+        [
+            "serve",
+            "--predictor",
+            predictor_path,
+            "--requests",
+            "30",
+            "--out",
+            str(out),
+            *extra,
+        ]
+    )
+    return rc, out
+
+
+class TestServeSloFlag:
+    def test_qos_section_and_config_keys(self, predictor_path, tmp_path):
+        rc, out = serve(predictor_path, tmp_path, "--slo-fps", "30")
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["config"]["slo_fps"] == 30.0
+        assert payload["config"]["qos_budget"] == 0.05
+        qos = payload["qos"]
+        assert qos["sessions"]["opened"] == 30
+        assert qos["sessions"]["conservation_errors"] == 0
+        assert qos["per_game"], "per-game breakdown missing"
+
+    def test_absent_without_flag(self, predictor_path, tmp_path):
+        rc, out = serve(predictor_path, tmp_path)
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert "qos" not in payload
+        assert "slo_fps" not in payload["config"]
+
+    def test_sharded_qos_with_per_shard_groups(self, predictor_path, tmp_path):
+        rc, out = serve(
+            predictor_path, tmp_path, "--slo-fps", "30", "--shards", "2"
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        qos = payload["qos"]
+        assert qos["sessions"]["conservation_errors"] == 0
+        assert qos["per_shard"]
+        assert payload["config"]["slo_fps"] == 30.0
+
+    def test_same_seed_qos_is_byte_identical(self, predictor_path, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        _, first = serve(predictor_path, tmp_path / "a", "--slo-fps", "30")
+        _, second = serve(predictor_path, tmp_path / "b", "--slo-fps", "30")
+        a = json.loads(first.read_text())["qos"]
+        b = json.loads(second.read_text())["qos"]
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_custom_budget(self, predictor_path, tmp_path):
+        rc, out = serve(
+            predictor_path,
+            tmp_path,
+            "--slo-fps",
+            "30",
+            "--qos-budget",
+            "0.5",
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["config"]["qos_budget"] == 0.5
+        assert payload["qos"]["slo"]["budget_fraction"] == 0.5
+
+
+class TestSloFlagValidation:
+    @pytest.mark.parametrize("value", ["0", "-5", "fast"])
+    def test_bad_slo_fps_exits_one(self, predictor_path, value, capsys):
+        rc = main(
+            ["serve", "--predictor", predictor_path, "--slo-fps", value]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize("value", ["0", "1.5", "-1", "cheap"])
+    def test_bad_budget_exits_one(self, predictor_path, value, capsys):
+        rc = main(
+            [
+                "serve",
+                "--predictor",
+                predictor_path,
+                "--slo-fps",
+                "30",
+                "--qos-budget",
+                value,
+            ]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_budget_without_target_exits_two(self, predictor_path, capsys):
+        rc = main(
+            ["serve", "--predictor", predictor_path, "--qos-budget", "0.1"]
+        )
+        assert rc == 2
+        assert "--qos-budget requires --slo-fps" in capsys.readouterr().err
+
+
+class TestSloSummary:
+    def test_summary_from_report(self, predictor_path, tmp_path, capsys):
+        _, out = serve(predictor_path, tmp_path, "--slo-fps", "30")
+        capsys.readouterr()
+        assert main(["slo", "summary", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "conservation_errors=0" in text
+        assert "calibration:" in text
+        assert "slo (target 30 fps)" in text
+
+    def test_summary_rejects_qosless_report(
+        self, predictor_path, tmp_path, capsys
+    ):
+        _, out = serve(predictor_path, tmp_path)
+        capsys.readouterr()
+        assert main(["slo", "summary", str(out)]) == 1
+        assert "--slo-fps" in capsys.readouterr().err
+
+
+class TestSloDiff:
+    def test_identical_reports_pass_gate(self, predictor_path, tmp_path, capsys):
+        _, out = serve(predictor_path, tmp_path, "--slo-fps", "30")
+        capsys.readouterr()
+        rc = main(
+            [
+                "slo",
+                "diff",
+                str(out),
+                str(out),
+                "--fail-on",
+                "fps_residual_mae:+10%",
+            ]
+        )
+        assert rc == 0
+        assert "no differences" in capsys.readouterr().out
+
+    def test_injected_regression_exits_three(
+        self, predictor_path, tmp_path, capsys
+    ):
+        _, out = serve(predictor_path, tmp_path, "--slo-fps", "30")
+        payload = json.loads(out.read_text())
+        payload["qos"]["calibration"]["fps_residual_mae"] *= 1.5
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(payload))
+        capsys.readouterr()
+        rc = main(
+            [
+                "slo",
+                "diff",
+                str(out),
+                str(worse),
+                "--fail-on",
+                "fps_residual_mae:+10%",
+            ]
+        )
+        assert rc == 3
+        assert "REGRESSION calibration.fps_residual_mae" in capsys.readouterr().err
+
+    def test_missing_file_exits_one(self, capsys):
+        assert main(["slo", "diff", "/nonexistent/a.json", "/nonexistent/b.json"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
