@@ -24,6 +24,9 @@ __all__ = [
     "aggregate_intensity",
     "rm_feature_vector",
     "cm_feature_vector",
+    "aggregate_intensity_matrix",
+    "rm_feature_matrix",
+    "cm_feature_matrix",
     "rm_feature_names",
     "cm_feature_names",
     "AGGREGATE_DIM",
@@ -97,6 +100,106 @@ def cm_feature_vector(
             sensitivity,
             aggregate_intensity(co_intensities),
         ]
+    )
+
+
+# ----------------------------------------------------------------------
+# Batched construction: whole-colocation feature matrices in a handful of
+# numpy ops.  Each builder takes every same-size colocation of a batch at
+# once — ``stacks[g, i]`` is the intensity vector of member ``i`` of
+# colocation ``g`` — and produces one feature row per member, in
+# colocation-major, member order.  Outputs are bitwise identical to the
+# per-row builders above: the leave-one-out co-runner subsets are gathered
+# explicitly (rather than derived via the ``(S - I_i)/(n-1)``
+# sum-minus-self identity, whose different floating-point summation order
+# would drift in the last ulp) so every reduction runs over the same
+# values in the same order as the scalar path, just batched along
+# leading axes.
+
+
+def _loo_indices(n: int) -> np.ndarray:
+    """``(n, n-1)`` co-runner index matrix: row ``i`` lists ``j != i`` ascending."""
+    base = np.arange(n - 1)
+    return base[None, :] + (base[None, :] >= np.arange(n)[:, None])
+
+
+def aggregate_intensity_matrix(stacks: np.ndarray) -> np.ndarray:
+    """Eq. 5 leave-one-out aggregates for every member of every colocation.
+
+    Parameters
+    ----------
+    stacks:
+        ``(g, n, 7)`` intensity matrices of ``g`` colocations, all of the
+        same size ``n >= 2``.
+
+    Returns
+    -------
+    ``(g, n, 15)`` array whose ``[g, i]`` block equals
+    ``aggregate_intensity`` of member ``i``'s co-runners (every member of
+    colocation ``g`` except ``i``), bitwise.
+    """
+    stacks = np.asarray(stacks, dtype=float)
+    if stacks.ndim != 3:
+        raise ValueError(f"stacks must be (g, n, {NUM_RESOURCES}), got {stacks.shape}")
+    g, n, width = stacks.shape
+    if width != NUM_RESOURCES:
+        raise ValueError(
+            f"intensity vectors must have {NUM_RESOURCES} entries, got {width}"
+        )
+    if n < 2:
+        raise ValueError("leave-one-out aggregation needs colocations of >= 2 games")
+    co = stacks[:, _loo_indices(n), :]  # (g, n, n-1, 7)
+    mean = co.mean(axis=2)
+    var = np.sqrt(np.sum((co - mean[:, :, None, :]) ** 2, axis=2)) / (n - 1)
+    out = np.empty((g, n, AGGREGATE_DIM), dtype=float)
+    out[..., 0] = float(n - 1)
+    out[..., 1::2] = mean
+    out[..., 2::2] = var
+    return out
+
+
+def rm_feature_matrix(
+    sensitivities: np.ndarray, stacks: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`rm_feature_vector`: one row per colocation member.
+
+    ``sensitivities`` is ``(g, n, d)`` (member sensitivity vectors) and
+    ``stacks`` is ``(g, n, 7)`` (member intensities) for ``g``
+    same-size colocations; returns ``(g * n, d + 15)`` rows in
+    colocation-major, member order, each bitwise equal to the scalar
+    builder applied to that member.
+    """
+    sensitivities = np.asarray(sensitivities, dtype=float)
+    agg = aggregate_intensity_matrix(stacks)
+    g, n, d = sensitivities.shape
+    return np.concatenate([sensitivities, agg], axis=2).reshape(g * n, d + AGGREGATE_DIM)
+
+
+def cm_feature_matrix(
+    qos: float,
+    solo_fps: np.ndarray,
+    sensitivities: np.ndarray,
+    stacks: np.ndarray,
+) -> np.ndarray:
+    """Batched :func:`cm_feature_vector`: one row per colocation member.
+
+    ``solo_fps`` is ``(g, n)`` (member solo frame rates, all positive);
+    the other arguments and the row order match
+    :func:`rm_feature_matrix`.
+    """
+    solo_fps = np.asarray(solo_fps, dtype=float)
+    if np.any(solo_fps <= 0):
+        bad = float(solo_fps[solo_fps <= 0].flat[0])
+        raise ValueError(f"solo_fps must be positive, got {bad}")
+    sensitivities = np.asarray(sensitivities, dtype=float)
+    agg = aggregate_intensity_matrix(stacks)
+    g, n, d = sensitivities.shape
+    head = np.empty((g, n, 3), dtype=float)
+    head[..., 0] = float(qos)
+    head[..., 1] = solo_fps
+    head[..., 2] = float(qos) / solo_fps
+    return np.concatenate([head, sensitivities, agg], axis=2).reshape(
+        g * n, 3 + d + AGGREGATE_DIM
     )
 
 

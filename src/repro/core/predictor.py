@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.classification import GAugurClassifier
-from repro.core.features import cm_feature_vector, rm_feature_vector
+from repro.core.features import cm_feature_matrix, rm_feature_matrix
 from repro.core.regression import GAugurRegressor
 from repro.core.training import ColocationSpec
 from repro.obs.tracing import NOOP_TRACER
@@ -74,6 +74,13 @@ class InterferencePredictor:
         # the cold-decision feature assembly from per-candidate
         # interpolation work into list indexing.
         self._feature_cache: dict[tuple, tuple] = {}
+        # spec.entries -> (profiles, intensity matrix (n, 7), solo FPS
+        # vector (n,), sensitivity matrix (n, d)).  The pre-stacked form
+        # of the blocks above, so batched featurization is pure array
+        # indexing per spec.  Derivations are pure but the key space is
+        # the colocation multiset space, so the memo is cleared (cheaply,
+        # rarely) rather than allowed to grow without bound.
+        self._spec_cache: dict[tuple, tuple] = {}
 
     def instrument(self, telemetry=None, tracer=None) -> "InterferencePredictor":
         """Attach observability sinks (both optional, chainable).
@@ -106,62 +113,91 @@ class InterferencePredictor:
         if missing:
             raise MissingProfileError(missing)
 
+    def _entry_block(self, name: str, res) -> tuple:
+        """Memoized (profile, intensity, solo FPS, sensitivity) for one entry."""
+        key = (name, res.width, res.height)
+        block = self._feature_cache.get(key)
+        if block is None:
+            profile = self.db.get(name)
+            block = (
+                profile,
+                profile.intensity_at(res).values,
+                profile.solo_fps_at(res),
+                profile.sensitivity_vector(),
+            )
+            self._feature_cache[key] = block
+        return block
+
+    def _spec_arrays(self, spec: ColocationSpec) -> tuple:
+        """Pre-stacked per-spec arrays: (profiles, intensity matrix ``(n, 7)``,
+        solo FPS vector ``(n,)``, sensitivity matrix ``(n, d)``), memoized
+        per entries tuple so repeat evaluations are one dict lookup.
+        """
+        cached = self._spec_cache.get(spec.entries)
+        if cached is None:
+            self.validate_spec(spec)
+            blocks = [self._entry_block(name, res) for name, res in spec.entries]
+            if len(self._spec_cache) >= 65536:
+                self._spec_cache.clear()
+            cached = self._spec_cache[spec.entries] = (
+                tuple(b[0] for b in blocks),
+                np.vstack([b[1] for b in blocks]),
+                np.asarray([b[2] for b in blocks], dtype=float),
+                np.vstack([b[3] for b in blocks]),
+            )
+        return cached
+
     def _inputs(self, spec: ColocationSpec):
         """Parallel per-entry lists: profiles, intensities, solo FPS,
-        sensitivity vectors — each block memoized per (game, resolution).
+        sensitivity vectors (the legacy list view of :meth:`_spec_arrays`).
         """
-        self.validate_spec(spec)
-        profiles, intensities, solo, sensitivities = [], [], [], []
-        for name, res in spec.entries:
-            key = (name, res.width, res.height)
-            block = self._feature_cache.get(key)
-            if block is None:
-                profile = self.db.get(name)
-                block = (
-                    profile,
-                    profile.intensity_at(res).values,
-                    profile.solo_fps_at(res),
-                    profile.sensitivity_vector(),
-                )
-                self._feature_cache[key] = block
-            profiles.append(block[0])
-            intensities.append(block[1])
-            solo.append(block[2])
-            sensitivities.append(block[3])
-        return profiles, intensities, solo, sensitivities
+        profiles, stack, solo, sensitivities = self._spec_arrays(spec)
+        return list(profiles), list(stack), [float(s) for s in solo], list(sensitivities)
+
+    def _grouped_matrix(self, specs: Sequence[ColocationSpec], qos: float | None):
+        """Feature rows for every entry of every size->=2 spec, grouped by size.
+
+        Returns ``(X, slots)`` where ``X`` stacks one feature row per
+        entry (CM rows when ``qos`` is given, RM rows otherwise) and
+        ``slots`` lists ``(spec_index, row_start, size)`` blocks mapping
+        contiguous row ranges of ``X`` back to their spec.  Grouping
+        specs by size keeps the construction free of per-row Python:
+        each distinct colocation size costs one set of numpy ops.
+        """
+        groups: dict[int, list[int]] = {}
+        for si, spec in enumerate(specs):
+            if spec.size >= 2:
+                groups.setdefault(spec.size, []).append(si)
+        if not groups:
+            return None, []
+        blocks, slots, row = [], [], 0
+        for size, members in groups.items():
+            arrays = [self._spec_arrays(specs[si]) for si in members]
+            stacks = np.stack([a[1] for a in arrays])
+            sens = np.stack([a[3] for a in arrays])
+            if qos is None:
+                block = rm_feature_matrix(sens, stacks)
+            else:
+                solo = np.stack([a[2] for a in arrays])
+                block = cm_feature_matrix(qos, solo, sens, stacks)
+            blocks.append(block)
+            for si in members:
+                slots.append((si, row, size))
+                row += size
+        X = blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+        return X, slots
 
     def predict_degradations(self, spec: ColocationSpec) -> np.ndarray:
         """RM degradation ratio per entry of the colocation."""
-        if self.regressor is None:
-            raise RuntimeError("no regression model attached")
-        if spec.size < 2:
-            return np.ones(spec.size, dtype=float)
-        _, intensities, _, sensitivities = self._inputs(spec)
-        rows = []
-        for i in range(spec.size):
-            co = [intensities[j] for j in range(spec.size) if j != i]
-            rows.append(rm_feature_vector(sensitivities[i], co))
-        return self.regressor.predict_from_features(np.vstack(rows))
+        return self.predict_degradations_batch([spec])[0]
 
     def predict_fps(self, spec: ColocationSpec) -> np.ndarray:
         """Predicted colocated FPS per entry (RM degradation x solo FPS)."""
-        _, _, solo, _ = self._inputs(spec)
-        return self.predict_degradations(spec) * np.asarray(solo)
+        return self.predict_fps_batch([spec])[0]
 
     def predict_feasible(self, spec: ColocationSpec, qos: float) -> np.ndarray:
         """CM verdict per entry: does each game meet ``qos`` FPS?"""
-        if self.classifier is None:
-            raise RuntimeError("no classification model attached")
-        if spec.size < 2:
-            # A game running alone is feasible iff its solo FPS meets QoS.
-            _, _, solo, _ = self._inputs(spec)
-            return np.asarray([fps >= qos for fps in solo], dtype=bool)
-        _, intensities, solo, sensitivities = self._inputs(spec)
-        rows = []
-        for i in range(spec.size):
-            co = [intensities[j] for j in range(spec.size) if j != i]
-            rows.append(cm_feature_vector(qos, solo[i], sensitivities[i], co))
-        return self.classifier.predict_from_features(np.vstack(rows)).astype(bool)
+        return self.predict_feasible_batch([spec], qos)[0]
 
     def colocation_feasible(self, spec: ColocationSpec, qos: float) -> bool:
         """True iff every game in the colocation is predicted to meet QoS."""
@@ -171,8 +207,9 @@ class InterferencePredictor:
     # Batched prediction: evaluate many candidate colocations with one
     # model invocation per attached model.  Outputs are bitwise identical
     # to the equivalent sequence of single-spec calls (standardization and
-    # tree evaluation are row-independent); only the number of model
-    # invocations changes.
+    # tree evaluation are row-independent, and the grouped matrix builders
+    # of :mod:`repro.core.features` reproduce the per-row builders
+    # bitwise); only the number of model invocations changes.
 
     def predict_degradations_batch(
         self, specs: Sequence[ColocationSpec]
@@ -181,32 +218,24 @@ class InterferencePredictor:
         if self.regressor is None:
             raise RuntimeError("no regression model attached")
         out: list[np.ndarray] = [np.ones(spec.size, dtype=float) for spec in specs]
-        rows, slots = [], []
         start = time.perf_counter()
         with self.tracer.span("featurize", model="rm", specs=len(specs)):
-            for si, spec in enumerate(specs):
-                if spec.size < 2:
-                    continue
-                _, intensities, _, sensitivities = self._inputs(spec)
-                for i in range(spec.size):
-                    co = [intensities[j] for j in range(spec.size) if j != i]
-                    rows.append(rm_feature_vector(sensitivities[i], co))
-                    slots.append((si, i))
+            X, slots = self._grouped_matrix(specs, None)
         self._observe_stage("featurize", "rm", time.perf_counter() - start)
-        if rows:
+        if X is not None:
             start = time.perf_counter()
-            with self.tracer.span("model_eval", model="rm", rows=len(rows)):
-                predictions = self.regressor.predict_from_features(np.vstack(rows))
+            with self.tracer.span("model_eval", model="rm", rows=X.shape[0]):
+                predictions = self.regressor.predict_from_features(X)
             self._observe_stage("model_eval", "rm", time.perf_counter() - start)
-            for (si, i), value in zip(slots, predictions):
-                out[si][i] = value
+            for si, row, size in slots:
+                out[si] = predictions[row : row + size]
         return out
 
     def predict_fps_batch(self, specs: Sequence[ColocationSpec]) -> list[np.ndarray]:
         """Predicted colocated FPS per entry for each spec (batched RM)."""
         degradations = self.predict_degradations_batch(specs)
         return [
-            deg * np.asarray(self._inputs(spec)[2])
+            deg * self._spec_arrays(spec)[2]
             for spec, deg in zip(specs, degradations)
         ]
 
@@ -217,29 +246,24 @@ class InterferencePredictor:
         if self.classifier is None:
             raise RuntimeError("no classification model attached")
         out: list[np.ndarray] = []
-        rows, slots = [], []
         start = time.perf_counter()
         with self.tracer.span("featurize", model="cm", specs=len(specs)):
-            for si, spec in enumerate(specs):
-                _, intensities, solo, sensitivities = self._inputs(spec)
+            for spec in specs:
                 if spec.size < 2:
-                    out.append(np.asarray([fps >= qos for fps in solo], dtype=bool))
-                    continue
-                out.append(np.zeros(spec.size, dtype=bool))
-                for i in range(spec.size):
-                    co = [intensities[j] for j in range(spec.size) if j != i]
-                    rows.append(
-                        cm_feature_vector(qos, solo[i], sensitivities[i], co)
-                    )
-                    slots.append((si, i))
+                    # A game running alone is feasible iff its solo FPS
+                    # meets QoS.
+                    out.append(self._spec_arrays(spec)[2] >= qos)
+                else:
+                    out.append(np.zeros(spec.size, dtype=bool))
+            X, slots = self._grouped_matrix(specs, qos)
         self._observe_stage("featurize", "cm", time.perf_counter() - start)
-        if rows:
+        if X is not None:
             start = time.perf_counter()
-            with self.tracer.span("model_eval", model="cm", rows=len(rows)):
-                verdicts = self.classifier.predict_from_features(np.vstack(rows))
+            with self.tracer.span("model_eval", model="cm", rows=X.shape[0]):
+                verdicts = self.classifier.predict_from_features(X)
             self._observe_stage("model_eval", "cm", time.perf_counter() - start)
-            for (si, i), verdict in zip(slots, verdicts):
-                out[si][i] = bool(verdict)
+            for si, row, size in slots:
+                out[si] = verdicts[row : row + size].astype(bool)
         return out
 
     def colocations_feasible(
@@ -289,7 +313,7 @@ class InterferencePredictor:
                 degradations = self.predict_degradations_batch(specs)
                 for spec, result, deg in zip(specs, results, degradations):
                     result["degradations"] = deg
-                    result["fps"] = deg * np.asarray(self._inputs(spec)[2])
+                    result["fps"] = deg * self._spec_arrays(spec)[2]
             if run_cm:
                 for result, verdicts in zip(
                     results, self.predict_feasible_batch(specs, qos)

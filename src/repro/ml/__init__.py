@@ -25,6 +25,7 @@ from repro.ml.metrics import (
     relative_errors,
 )
 from repro.ml.model_selection import KFold, cross_val_score, train_test_split
+from repro.ml.packed import PackedTrees, pack_trees
 from repro.ml.preprocessing import StandardScaler
 from repro.ml.serialization import load_model, save_model
 from repro.ml.svm import SVC, SVR
@@ -56,6 +57,8 @@ __all__ = [
     "mean_absolute_error",
     "r2_score",
     "permutation_importance",
+    "PackedTrees",
+    "pack_trees",
     "save_model",
     "load_model",
 ]

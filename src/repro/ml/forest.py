@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseEstimator, check_array, check_X_y
+from repro.ml.packed import PackedTrees, pack_trees
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.utils.rng import derive_seed
 
@@ -38,6 +39,7 @@ class _BaseForest(BaseEstimator):
         raise NotImplementedError
 
     def _fit_ensemble(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._packed_ = None
         self.estimators_ = []
         n = X.shape[0]
         for t in range(self.n_estimators):
@@ -55,6 +57,19 @@ class _BaseForest(BaseEstimator):
         )
         total = importances.sum()
         self.feature_importances_ = importances / total if total > 0 else importances
+
+    def _pack(self) -> PackedTrees:
+        raise NotImplementedError
+
+    def _packed(self) -> PackedTrees:
+        # Derived evaluation cache: built lazily after fit() or
+        # deserialization (which restores estimators_ but not the pack),
+        # never serialized (get_params/estimator_to_dict skip it).
+        pack = getattr(self, "_packed_", None)
+        if pack is None or pack.n_trees != len(self.estimators_):
+            pack = self._pack()
+            self._packed_ = pack
+        return pack
 
 
 class RandomForestRegressor(_BaseForest):
@@ -75,11 +90,14 @@ class RandomForestRegressor(_BaseForest):
         self._fit_ensemble(X, np.asarray(y, dtype=float))
         return self
 
+    def _pack(self) -> PackedTrees:
+        return pack_trees([tree.tree_ for tree in self.estimators_])
+
     def predict(self, X) -> np.ndarray:
         """Mean prediction over trees."""
         self._check_fitted("estimators_")
         X = check_array(X)
-        return np.mean([tree.predict(X) for tree in self.estimators_], axis=0)
+        return self._packed().mean_predict(X)
 
 
 class RandomForestClassifier(_BaseForest):
@@ -101,16 +119,25 @@ class RandomForestClassifier(_BaseForest):
         self._fit_ensemble(X, y)
         return self
 
+    def _pack(self) -> PackedTrees:
+        # A bootstrap resample can miss a class, so tree value matrices
+        # may cover different classes_ subsets; project each into the
+        # global class order so the pack shares one value array.  The
+        # injected zero columns add exact 0.0 to the (non-negative)
+        # probability sums, matching the old sparse accumulation bitwise.
+        values = []
+        for tree in self.estimators_:
+            v = tree.tree_.value
+            padded = np.zeros((v.shape[0], self.classes_.shape[0]), dtype=float)
+            padded[:, np.searchsorted(self.classes_, tree.classes_)] = v
+            values.append(padded)
+        return pack_trees([tree.tree_ for tree in self.estimators_], values=values)
+
     def predict_proba(self, X) -> np.ndarray:
         """Soft-voted class-probability matrix over the full class set."""
         self._check_fitted("estimators_")
         X = check_array(X)
-        proba = np.zeros((X.shape[0], self.classes_.shape[0]), dtype=float)
-        for tree in self.estimators_:
-            tree_proba = tree.predict_proba(X)
-            cols = np.searchsorted(self.classes_, tree.classes_)
-            proba[:, cols] += tree_proba
-        return proba / self.n_estimators
+        return self._packed().sum_values(X) / self.n_estimators
 
     def predict(self, X) -> np.ndarray:
         """Soft-voted most probable class."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseEstimator, check_array, check_X_y
+from repro.ml.packed import PackedTrees, pack_trees
 from repro.ml.tree import DecisionTreeRegressor
 from repro.utils.rng import derive_seed
 
@@ -58,11 +59,18 @@ class _BaseBoosting(BaseEstimator):
         size = max(1, int(round(self.subsample * n)))
         return rng.choice(n, size=size, replace=False)
 
+    def _packed(self) -> PackedTrees:
+        # Derived evaluation cache: built lazily after fit() or
+        # deserialization (which restores estimators_ but not the pack),
+        # never serialized (get_params/estimator_to_dict skip it).
+        pack = getattr(self, "_packed_", None)
+        if pack is None or pack.n_trees != len(self.estimators_):
+            pack = pack_trees([tree.tree_ for tree in self.estimators_])
+            self._packed_ = pack
+        return pack
+
     def _raw_predict(self, X: np.ndarray) -> np.ndarray:
-        raw = np.full(X.shape[0], self.init_, dtype=float)
-        for tree in self.estimators_:
-            raw += self.learning_rate * tree.predict(X)
-        return raw
+        return self._packed().boosted_predict(X, self.init_, self.learning_rate)
 
 
 class GradientBoostingRegressor(_BaseBoosting):
@@ -73,6 +81,7 @@ class GradientBoostingRegressor(_BaseBoosting):
         X, y = check_X_y(X, y)
         y = np.asarray(y, dtype=float)
         self.init_ = float(y.mean())
+        self._packed_ = None
         self.estimators_ = []
         raw = np.full(y.shape[0], self.init_, dtype=float)
         self.train_losses_ = []
@@ -106,6 +115,7 @@ class GradientBoostingClassifier(_BaseBoosting):
         y01 = (y == self.classes_[1]).astype(float)
         prior = float(np.clip(y01.mean(), 1e-6, 1.0 - 1e-6))
         self.init_ = float(np.log(prior / (1.0 - prior)))
+        self._packed_ = None
         self.estimators_ = []
         raw = np.full(y01.shape[0], self.init_, dtype=float)
         self.train_losses_ = []
@@ -116,11 +126,16 @@ class GradientBoostingClassifier(_BaseBoosting):
             idx = self._stage_indices(y01.shape[0], t)
             tree = self._stage_tree(t).fit(X[idx], grad[idx])
             # Newton step: replace leaf means with sum(g)/sum(h) per leaf,
-            # computed over the full training set for stability.
+            # computed over the full training set for stability.  The
+            # per-leaf sums come from one bincount pass over the leaf
+            # assignment instead of a boolean-mask loop per leaf.
             leaves = tree.apply(X)
-            for leaf in np.unique(leaves):
-                mask = leaves == leaf
-                tree.tree_.value[leaf, 0] = grad[mask].sum() / hess[mask].sum()
+            n_nodes = tree.tree_.n_nodes
+            counts = np.bincount(leaves, minlength=n_nodes)
+            sum_g = np.bincount(leaves, weights=grad, minlength=n_nodes)
+            sum_h = np.bincount(leaves, weights=hess, minlength=n_nodes)
+            visited = counts > 0
+            tree.tree_.value[visited, 0] = sum_g[visited] / sum_h[visited]
             raw += self.learning_rate * tree.predict(X)
             self.estimators_.append(tree)
             p = 1.0 / (1.0 + np.exp(-raw))

@@ -1,0 +1,163 @@
+"""Packed tree-ensemble evaluation: all trees x all rows in one traversal.
+
+The ensembles in :mod:`repro.ml.forest` and :mod:`repro.ml.gbdt` used to
+evaluate their trees one Python iteration at a time — ``T`` separate
+breadth-parallel descents per prediction call, which made the serving
+cold path (a 300-tree GBDT per decision) pure interpreter overhead.  A
+:class:`PackedTrees` concatenates every tree's flat node arrays
+(``feature``/``threshold``/``left``/``right``/``value``) once, with
+child pointers rebased to absolute node ids, so a single breadth-first
+loop advances every (tree, row) pair simultaneously: the loop body runs
+``O(max depth)`` times total instead of per tree.
+
+Packing is a *derived cache*: it is built lazily from the fitted
+per-tree arrays (after :meth:`fit` or deserialization) and never
+serialized — bundles written by :mod:`repro.ml.serialization` are
+unchanged.  Every evaluator here is bitwise identical to the per-tree
+loop it replaces: node descents perform the same comparisons, and the
+ensemble folds (forest mean, soft-vote sum, boosted accumulation) reduce
+over the outer axis of a C-contiguous array, which numpy evaluates in
+tree order exactly like the original Python accumulation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["PackedTrees", "pack_trees"]
+
+_LEAF = -1
+
+
+def _stage_sum(terms: np.ndarray) -> np.ndarray:
+    """Sum ``terms`` over axis 0 in stage order (bitwise-loop-equal).
+
+    ``np.add.reduce`` over the outer axis of a C-contiguous array
+    accumulates sequentially — except when the trailing axes have size
+    1, where numpy merges them into one contiguous vector and switches
+    to pairwise summation.  Accumulate that (single-row) case explicitly
+    so the result always matches a per-stage ``+=`` loop bitwise.
+    """
+    if terms[0].size == 1:
+        out = terms[0].copy()
+        for row in terms[1:]:
+            out += row
+        return out
+    return np.add.reduce(terms, axis=0)
+
+
+def traverse(
+    feature: np.ndarray,
+    threshold: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+    node: np.ndarray,
+    rows: np.ndarray,
+    X: np.ndarray,
+) -> np.ndarray:
+    """Advance every cursor in ``node`` to its leaf; returns ``node``.
+
+    The shared breadth-parallel descent kernel: ``node[k]`` is a cursor
+    into the flat node arrays and ``rows[k]`` names the row of ``X`` it
+    descends with.  Used with one cursor per row for a single tree
+    (:meth:`repro.ml.tree._Tree.apply`) and one cursor per (tree, row)
+    pair for a packed ensemble — the loop body executes once per tree
+    *level*, not per tree.
+    """
+    while True:
+        feat = feature[node]
+        internal = feat != _LEAF
+        if not internal.any():
+            return node
+        idx = np.where(internal)[0]
+        f = feat[idx]
+        go_left = X[rows[idx], f] <= threshold[node[idx]]
+        node[idx] = np.where(go_left, left[node[idx]], right[node[idx]])
+
+
+class PackedTrees:
+    """An ensemble's trees concatenated into one set of flat node arrays."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "value", "roots")
+
+    def __init__(self, feature, threshold, left, right, value, roots):
+        self.feature = feature
+        self.threshold = threshold
+        self.left = left
+        self.right = right
+        self.value = value
+        self.roots = roots
+
+    @property
+    def n_trees(self) -> int:
+        """Number of packed trees."""
+        return self.roots.shape[0]
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Absolute leaf id per (tree, row): shape ``(n_trees, n)``."""
+        n = X.shape[0]
+        node = np.repeat(self.roots, n)
+        rows = np.tile(np.arange(n), self.n_trees)
+        traverse(self.feature, self.threshold, self.left, self.right, node, rows, X)
+        return node.reshape(self.n_trees, n)
+
+    def leaf_values(self, X: np.ndarray) -> np.ndarray:
+        """Leaf value block per (tree, row): shape ``(n_trees, n, d)``."""
+        return self.value[self.apply(X)]
+
+    # -- ensemble folds (each bitwise equal to the per-tree loop) -------
+
+    def mean_predict(self, X: np.ndarray) -> np.ndarray:
+        """Forest-regressor fold: mean over trees of the scalar leaf value."""
+        return np.mean(self.leaf_values(X)[:, :, 0], axis=0)
+
+    def sum_values(self, X: np.ndarray) -> np.ndarray:
+        """Soft-vote fold: summed leaf value blocks, shape ``(n, d)``."""
+        return _stage_sum(self.leaf_values(X))
+
+    def boosted_predict(
+        self, X: np.ndarray, init: float, learning_rate: float
+    ) -> np.ndarray:
+        """Boosting fold: ``init + sum_t lr * value_t``, accumulated in
+        stage order (the first reduction step adds stage 0 to ``init``,
+        exactly like the sequential per-tree loop)."""
+        leaves = self.leaf_values(X)[:, :, 0]
+        terms = np.empty((leaves.shape[0] + 1, leaves.shape[1]), dtype=float)
+        terms[0] = init
+        terms[1:] = learning_rate * leaves
+        return _stage_sum(terms)
+
+
+def pack_trees(
+    trees: Sequence, values: Sequence[np.ndarray] | None = None
+) -> PackedTrees:
+    """Concatenate fitted :class:`repro.ml.tree._Tree` instances.
+
+    ``values`` optionally overrides each tree's leaf value matrix — the
+    forest classifier passes per-tree matrices projected into the global
+    class order so heterogeneous ``classes_`` subsets (a bootstrap
+    resample can miss a class) share one value array.  All value
+    matrices must then agree on width.
+    """
+    if len(trees) == 0:
+        raise ValueError("pack_trees needs at least one tree")
+    sizes = np.asarray([t.feature.shape[0] for t in trees], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    lefts, rights = [], []
+    for t, off in zip(trees, offsets):
+        left = t.left.copy()
+        right = t.right.copy()
+        left[left != _LEAF] += off
+        right[right != _LEAF] += off
+        lefts.append(left)
+        rights.append(right)
+    return PackedTrees(
+        feature=np.concatenate([t.feature for t in trees]),
+        threshold=np.concatenate([t.threshold for t in trees]),
+        left=np.concatenate(lefts),
+        right=np.concatenate(rights),
+        value=np.vstack(list(values) if values is not None else [t.value for t in trees]),
+        roots=offsets[:-1],
+    )

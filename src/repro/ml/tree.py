@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseEstimator, check_array, check_X_y
+from repro.ml.packed import traverse
 
 __all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor"]
 
@@ -39,18 +40,12 @@ class _Tree:
 
     def apply(self, X: np.ndarray) -> np.ndarray:
         """Leaf index for every row of ``X``."""
-        node = np.zeros(X.shape[0], dtype=np.int64)
-        while True:
-            feat = self.feature[node]
-            internal = feat != _LEAF
-            if not internal.any():
-                return node
-            idx = np.where(internal)[0]
-            f = feat[idx]
-            go_left = X[idx, f] <= self.threshold[node[idx]]
-            node[idx] = np.where(
-                go_left, self.left[node[idx]], self.right[node[idx]]
-            )
+        n = X.shape[0]
+        node = np.zeros(n, dtype=np.int64)
+        return traverse(
+            self.feature, self.threshold, self.left, self.right,
+            node, np.arange(n), X,
+        )
 
     def predict_value(self, X: np.ndarray) -> np.ndarray:
         """Leaf value matrix ``(n, d)`` for every row of ``X``."""

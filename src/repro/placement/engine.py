@@ -289,6 +289,9 @@ class DecisionEngine:
         evaluated against :meth:`FleetState.signatures` and immediately
         applied with :meth:`FleetState.place`, so the index a policy
         returned can never be re-interpreted against a stale pool.
+        The fleet maintains those signatures incrementally under
+        mutation, so presenting the pool here is a pool-order list copy
+        rather than a per-server canonicalization on every arrival.
         """
         decision = self.decide(fleet.signatures(), session)
         server_id = fleet.place(decision.server, session)

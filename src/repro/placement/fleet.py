@@ -32,7 +32,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.games.resolution import Resolution
-from repro.placement.signature import Signature, signature_of
+from repro.placement.signature import Signature, entry_of, signature_add
 
 __all__ = ["Session", "FleetState"]
 
@@ -75,6 +75,15 @@ class FleetState:
         self.observer = observer
         # server id -> members as (member_id, session), departure-ordered.
         self._servers: dict[int, list[tuple[int, Session]]] = {}
+        # server id -> canonical signature, maintained incrementally in
+        # lockstep with _servers (same insertion order, same deletions)
+        # so signatures() is a values() copy instead of a per-server
+        # re-sort on every decision.
+        self._signatures: dict[int, Signature] = {}
+        # Open-server ids in pool order, mirrored from _servers so
+        # place() resolves a policy's index without materializing the
+        # key list per decision.
+        self._ids: list[int] = []
         self._departures: list[tuple[float, int, int]] = []  # (time, seq, server)
         self._next_server_id = 0
         self._next_member_id = 0
@@ -110,15 +119,17 @@ class FleetState:
 
     def server_ids(self) -> list[int]:
         """Stable ids of the open servers, in pool (decision-index) order."""
-        return list(self._servers)
+        return list(self._ids)
 
     def signatures(self) -> list[Signature]:
         """Canonical signatures of the open servers, in pool order.
 
         This is the list placement policies decide against; the index a
-        policy returns is a position in this list.
+        policy returns is a position in this list.  Signatures are
+        maintained under mutation (each verb touches only the affected
+        server), so this is a pool-order copy, not a recomputation.
         """
-        return [signature_of(s for _, s in members) for members in self._servers.values()]
+        return list(self._signatures.values())
 
     def members(self, server_id: int) -> list[Session]:
         """Live sessions hosted on ``server_id``, departure-ordered."""
@@ -140,12 +151,17 @@ class FleetState:
             server_id = self._next_server_id
             self._next_server_id += 1
             self._servers[server_id] = [member]
+            self._signatures[server_id] = (entry_of(session),)
+            self._ids.append(server_id)
         else:
-            server_id = list(self._servers)[choice]
+            server_id = self._ids[choice]
             hosted = self._servers[server_id]
             hosted.append(member)
             # Keep departure order: earliest-ending session leaves first.
             hosted.sort(key=lambda m: m[1].departure)
+            self._signatures[server_id] = signature_add(
+                self._signatures[server_id], entry_of(session)
+            )
         heapq.heappush(self._departures, (session.departure, self._seq, server_id))
         self._seq += 1
         self._n_live += 1
@@ -178,6 +194,14 @@ class FleetState:
             member_id, session = members.pop(0)
             if not members:
                 del self._servers[server_id]
+                del self._signatures[server_id]
+                self._ids.remove(server_id)
+            else:
+                # Drop one occurrence of the departing entry; removal
+                # from a sorted tuple keeps it canonical.
+                sig = self._signatures[server_id]
+                i = sig.index(entry_of(session))
+                self._signatures[server_id] = sig[:i] + sig[i + 1 :]
             removed += 1
             if self.observer is not None:
                 self.observer.fleet_departed(server_id, member_id, session, t)
@@ -195,6 +219,8 @@ class FleetState:
         are skipped by :meth:`pop_departures`.
         """
         members = self._servers.pop(server_id)
+        del self._signatures[server_id]
+        self._ids.remove(server_id)
         self._n_live -= len(members)
         ordered = sorted(members, key=lambda m: m[0])
         if self.observer is not None:

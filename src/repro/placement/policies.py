@@ -162,15 +162,19 @@ class CMFeasiblePolicy(_InstrumentedPolicy):
         floor = self.qos * self.margin
         verdicts: dict[Signature, bool] = {}
         unknown: list[Signature] = []
+        # Set mirror of `unknown` so the seen-check is O(1); the list
+        # keeps the deterministic query order the cache-fill relies on.
+        pending: set[Signature] = set()
         with self.tracer.span("cache", policy=self.name) as span:
             for sig in candidate_sigs:
-                if sig in verdicts or sig in unknown:
+                if sig in verdicts or sig in pending:
                     continue
                 hit = self.cache.lookup(colocation_key(sig, floor), None)
                 if hit is not None:
                     verdicts[sig] = hit
                 else:
                     unknown.append(sig)
+                    pending.add(sig)
             span.set(hits=len(verdicts), misses=len(unknown))
         with self.tracer.span(
             "predict", policy=self.name, batched=len(unknown), cached=not unknown
@@ -224,6 +228,9 @@ class MaxFPSPolicy(_InstrumentedPolicy):
     def _fps(self, candidate_sigs: list[Signature]) -> dict[Signature, tuple]:
         fps: dict[Signature, tuple] = {}
         unknown: list[Signature] = []
+        # Set mirror of `unknown` so the seen-check is O(1); the list
+        # keeps the deterministic query order the cache-fill relies on.
+        pending: set[Signature] = set()
         with self.tracer.span("cache", policy=self.name) as span:
             for sig in candidate_sigs:
                 if sig in fps:
@@ -231,8 +238,9 @@ class MaxFPSPolicy(_InstrumentedPolicy):
                 hit = self.cache.lookup(colocation_key(sig), None)
                 if hit is not None:
                     fps[sig] = hit
-                elif sig not in unknown:
+                elif sig not in pending:
                     unknown.append(sig)
+                    pending.add(sig)
             span.set(hits=len(fps), misses=len(unknown))
         with self.tracer.span(
             "predict", policy=self.name, batched=len(unknown), cached=not unknown

@@ -1,0 +1,191 @@
+"""Bitwise-parity locks for the vectorized cold-path pipeline.
+
+Three properties pin the fast paths to the scalar implementations they
+replaced: batch feature matrices equal row-by-row feature vectors
+(exactly — same bits, not just close), packed ensemble evaluation equals
+the per-tree Python loop, and incrementally maintained fleet signatures
+equal a from-scratch recomputation after arbitrary mutation sequences.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import (
+    aggregate_intensity,
+    aggregate_intensity_matrix,
+    cm_feature_matrix,
+    cm_feature_vector,
+    rm_feature_matrix,
+    rm_feature_vector,
+)
+from repro.games.resolution import Resolution
+from repro.hardware.resources import NUM_RESOURCES
+from repro.ml import (
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+from repro.placement.fleet import FleetState, Session
+from repro.placement.signature import signature_of
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+positive = st.floats(min_value=1e-3, max_value=1e4, allow_nan=False)
+
+
+def _array(data, shape, elements=finite):
+    size = int(np.prod(shape))
+    flat = data.draw(st.lists(elements, min_size=size, max_size=size))
+    return np.asarray(flat, dtype=float).reshape(shape)
+
+
+class TestBatchFeatureParity:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_aggregate_matrix_matches_scalar(self, data):
+        g = data.draw(st.integers(1, 3))
+        n = data.draw(st.integers(2, 4))
+        stacks = _array(data, (g, n, NUM_RESOURCES))
+        out = aggregate_intensity_matrix(stacks)
+        for gi in range(g):
+            for i in range(n):
+                co = [stacks[gi, j] for j in range(n) if j != i]
+                expected = aggregate_intensity(co)
+                assert np.array_equal(out[gi, i], expected)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_rm_matrix_matches_scalar_rows(self, data):
+        g = data.draw(st.integers(1, 3))
+        n = data.draw(st.integers(2, 4))
+        d = data.draw(st.integers(1, 8))
+        sens = _array(data, (g, n, d))
+        stacks = _array(data, (g, n, NUM_RESOURCES))
+        X = rm_feature_matrix(sens, stacks)
+        for gi in range(g):
+            for i in range(n):
+                co = [stacks[gi, j] for j in range(n) if j != i]
+                row = rm_feature_vector(sens[gi, i], co)
+                assert np.array_equal(X[gi * n + i], row)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_cm_matrix_matches_scalar_rows(self, data):
+        g = data.draw(st.integers(1, 3))
+        n = data.draw(st.integers(2, 4))
+        d = data.draw(st.integers(1, 8))
+        qos = data.draw(positive)
+        solo = _array(data, (g, n), elements=positive)
+        sens = _array(data, (g, n, d))
+        stacks = _array(data, (g, n, NUM_RESOURCES))
+        X = cm_feature_matrix(qos, solo, sens, stacks)
+        for gi in range(g):
+            for i in range(n):
+                co = [stacks[gi, j] for j in range(n) if j != i]
+                row = cm_feature_vector(qos, float(solo[gi, i]), sens[gi, i], co)
+                assert np.array_equal(X[gi * n + i], row)
+
+
+def _fit_models():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(250, 6))
+    y_reg = X[:, 0] - 2.0 * X[:, 1] + rng.normal(scale=0.2, size=250)
+    y_bin = (X[:, 0] + X[:, 2] > 0).astype(int)
+    # Three classes so bootstrap resamples can miss one, exercising the
+    # classifier pack's class-order projection.
+    y_multi = rng.integers(0, 3, size=250)
+    return {
+        "forest_reg": RandomForestRegressor(n_estimators=20, seed=1).fit(X, y_reg),
+        "forest_clf": RandomForestClassifier(n_estimators=20, seed=2).fit(X, y_multi),
+        "gbrt": GradientBoostingRegressor(n_estimators=30, seed=3).fit(X, y_reg),
+        "gbdt": GradientBoostingClassifier(n_estimators=30, seed=4).fit(X, y_bin),
+    }
+
+
+MODELS = _fit_models()
+
+
+class TestPackedEnsembleParity:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_forest_regressor_matches_tree_loop(self, data):
+        n = data.draw(st.integers(1, 12))
+        X = _array(data, (n, 6), elements=st.floats(-5, 5, allow_nan=False))
+        model = MODELS["forest_reg"]
+        expected = np.mean([t.predict(X) for t in model.estimators_], axis=0)
+        assert np.array_equal(model.predict(X), expected)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_forest_classifier_matches_tree_loop(self, data):
+        n = data.draw(st.integers(1, 12))
+        X = _array(data, (n, 6), elements=st.floats(-5, 5, allow_nan=False))
+        model = MODELS["forest_clf"]
+        proba = np.zeros((n, model.classes_.shape[0]))
+        for t in model.estimators_:
+            cols = np.searchsorted(model.classes_, t.classes_)
+            proba[:, cols] += t.predict_proba(X)
+        proba /= model.n_estimators
+        assert np.array_equal(model.predict_proba(X), proba)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_boosting_matches_stage_loop(self, data):
+        n = data.draw(st.integers(1, 12))
+        X = _array(data, (n, 6), elements=st.floats(-5, 5, allow_nan=False))
+        for key, raw_of in (("gbrt", "predict"), ("gbdt", "decision_function")):
+            model = MODELS[key]
+            expected = np.full(n, model.init_)
+            for t in model.estimators_:
+                expected += model.learning_rate * t.predict(X)
+            assert np.array_equal(getattr(model, raw_of)(X), expected)
+
+
+GAMES = ["dota2", "csgo", "hl2", "tf2"]
+RESOLUTIONS = [Resolution(1920, 1080), Resolution(1280, 720)]
+
+fleet_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["place_new", "place_join", "depart", "crash"]),
+        st.integers(0, 10 ** 6),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestIncrementalSignatureParity:
+    @given(fleet_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_signatures_match_recomputation(self, ops):
+        fleet = FleetState()
+        clock = 0.0
+        for op, r in ops:
+            if op == "place_new" or fleet.n_open == 0:
+                session = Session(
+                    GAMES[r % len(GAMES)],
+                    RESOLUTIONS[r % len(RESOLUTIONS)],
+                    arrival=clock,
+                    duration=1.0 + (r % 7),
+                )
+                fleet.place(None, session)
+            elif op == "place_join":
+                session = Session(
+                    GAMES[r % len(GAMES)],
+                    RESOLUTIONS[(r // 2) % len(RESOLUTIONS)],
+                    arrival=clock,
+                    duration=1.0 + (r % 5),
+                )
+                fleet.place(r % fleet.n_open, session)
+            elif op == "depart":
+                clock += 1.0 + (r % 3)
+                fleet.pop_departures(clock)
+            else:
+                fleet.crash(fleet.server_ids()[r % fleet.n_open])
+            recomputed = [
+                signature_of(fleet.members(sid)) for sid in fleet.server_ids()
+            ]
+            assert fleet.signatures() == recomputed
