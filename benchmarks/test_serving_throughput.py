@@ -12,6 +12,7 @@ import time
 
 from benchmarks.conftest import emit, emit_json
 
+from repro.games import DegradeLadder
 from repro.obs import QoSLedger
 from repro.scheduling.dynamic import generate_sessions
 from repro.serving import (
@@ -23,6 +24,7 @@ from repro.serving import (
 
 N_REQUESTS = 400
 SLO_FPS = 30.0
+DEGRADE_LADDER = DegradeLadder.from_str("1080p,900p,720p")
 
 
 def _sessions(lab):
@@ -121,3 +123,70 @@ def test_serving_throughput_cold_vs_warm(lab, benchmark):
     )
     # The warm path must at least keep dispatch-rate viability.
     assert warm_rate > 50
+
+
+def test_serving_degrade_capacity(lab, benchmark):
+    """Capacity bench for the resolution-downscale actuator.
+
+    Replays one dense seeded trace twice — plain chain vs. the actuator
+    armed on the 1080p > 900p > 720p ladder with the restore loop — and
+    reports servers opened for both.  The decisions are a pure function
+    of the seeds (no wall clocks anywhere in placement), so the emitted
+    ``servers_opened`` counter is machine-stable and CI gates it hard at
+    +0%: a regression that stops the actuator from downscaling shows up
+    as a servers_opened jump, not a silent capacity loss.
+    """
+    lab.predictor
+    sessions = generate_sessions(
+        lab.names[:8], N_REQUESTS, arrival_rate=9.0, seed=17
+    )
+
+    def replay(ladder, restore_interval):
+        policy = CMFeasiblePolicy(lab.predictor, 60.0, cache=PredictionCache(8192))
+        controller = AdmissionController(policy, downscale_ladder=ladder)
+        ledger = QoSLedger(lab.catalog, lab.predictor, slo_fps=SLO_FPS)
+        broker = RequestBroker(
+            controller, ledger=ledger, restore_interval=restore_interval
+        )
+        return broker.run(sessions)
+
+    baseline = replay(None, None)
+    report = benchmark.pedantic(
+        replay, args=(DEGRADE_LADDER, 64), rounds=1, iterations=1
+    )
+    assert report.qos["sessions"]["conservation_errors"] == 0
+    labeled = report.telemetry.get("labeled", {}).get("counters", {})
+    downscales = sum(e["value"] for e in labeled.get("downscales", ()))
+    degraded = report.qos.get("degraded", {})
+    emit(
+        "serving_degrade",
+        "\n".join(
+            [
+                "Serving degrade capacity (cm-feasible, 8 games, "
+                f"{N_REQUESTS} requests @ 9/min)",
+                f"{'chain':22s} {'servers opened':>14s} {'downscales':>10s}",
+                f"{'baseline':22s} {baseline.servers_opened:14d} {0:10d}",
+                f"{'downscale + restore':22s} {report.servers_opened:14d} "
+                f"{downscales:10d}",
+            ]
+        ),
+    )
+    emit_json(
+        "BENCH_degrade",
+        {
+            "bench": "serving_degrade",
+            "n_requests": N_REQUESTS,
+            "slo_fps": SLO_FPS,
+            "ladder": DEGRADE_LADDER.to_list(),
+            "restore_interval": 64,
+            "servers_opened": report.servers_opened,
+            "servers_opened_baseline": baseline.servers_opened,
+            "downscales": downscales,
+            "degraded_sessions": int(degraded.get("sessions", 0)),
+            "degraded_minutes": round(float(degraded.get("minutes", 0.0)), 3),
+            "telemetry": report.telemetry,
+            "qos": report.qos,
+        },
+    )
+    # The actuator must never cost capacity on the pinned trace.
+    assert report.servers_opened <= baseline.servers_opened

@@ -191,6 +191,31 @@ def _parse_slo_flags(args) -> tuple[float | None, float]:
     return slo_fps, qos_budget
 
 
+def _parse_degrade_flags(args):
+    """Validate ``--degrade-ladder`` / ``--restore-interval``.
+
+    Returns ``(ladder, restore_interval)``.  Malformed ladder text raises
+    ValueError (one-line ``error:`` exit 1 via ``main``); ``--no-degrade``
+    disarms the actuator even when a ladder string is present, which lets
+    wrapper scripts pin the pre-actuator byte-identical behavior.
+    """
+    from repro.games import DegradeLadder
+
+    ladder = None
+    if args.degrade_ladder is not None and not args.no_degrade:
+        ladder = DegradeLadder.from_str(args.degrade_ladder)
+    restore_interval = None
+    if ladder is not None:
+        restore_interval = args.restore_interval
+        if restore_interval is None:
+            restore_interval = 256
+        elif restore_interval < 1:
+            raise ValueError(
+                f"--restore-interval must be >= 1, got {restore_interval}"
+            )
+    return ladder, restore_interval
+
+
 def _cmd_serve(args) -> int:
     from repro.obs import Telemetry, Tracer
     from repro.placement import BreakerConfig, PredictionCache, build_policy
@@ -227,6 +252,10 @@ def _cmd_serve(args) -> int:
     if args.qos_budget is not None and slo_fps is None:
         print("--qos-budget requires --slo-fps", file=sys.stderr)
         return 2
+    if args.restore_interval is not None and args.degrade_ladder is None:
+        print("--restore-interval requires --degrade-ladder", file=sys.stderr)
+        return 2
+    ladder, restore_interval = _parse_degrade_flags(args)
     if args.rebalance_interval and not args.shards:
         print("--rebalance-interval requires --shards", file=sys.stderr)
         return 2
@@ -254,6 +283,7 @@ def _cmd_serve(args) -> int:
         return _serve_sharded(
             args, predictor, sessions, trace_config,
             slo_fps=slo_fps, qos_budget=qos_budget,
+            ladder=ladder, restore_interval=restore_interval,
         )
     telemetry = Telemetry()
     fault_config = FaultConfig(error_rate=args.fault_rate, seed=args.trace_seed)
@@ -284,6 +314,7 @@ def _cmd_serve(args) -> int:
         breaker=BreakerConfig(failure_threshold=args.breaker_threshold),
         decision_deadline_s=deadline_s,
         tracer=tracer,
+        downscale_ladder=ladder,
     )
     ledger = None
     if slo_fps is not None:
@@ -300,6 +331,7 @@ def _cmd_serve(args) -> int:
         crash_rate=args.crash_rate,
         crash_seed=args.trace_seed,
         ledger=ledger,
+        restore_interval=restore_interval,
     )
     report = broker.run(sessions)
     if args.trace_out:
@@ -325,6 +357,10 @@ def _cmd_serve(args) -> int:
         # reports stay byte-identical to previous releases.
         payload["config"]["slo_fps"] = slo_fps
         payload["config"]["qos_budget"] = qos_budget
+    if ladder is not None:
+        # Degrade keys likewise appear only when the actuator is armed.
+        payload["config"]["degrade_ladder"] = ladder.to_list()
+        payload["config"]["restore_interval"] = restore_interval
     text = json.dumps(payload, indent=2)
     if args.out:
         with open(args.out, "w") as fh:
@@ -341,7 +377,8 @@ def _shard_trace_path(base: str, shard_id: int) -> str:
 
 
 def _serve_sharded(
-    args, predictor, sessions, trace_config, *, slo_fps=None, qos_budget=0.05
+    args, predictor, sessions, trace_config, *, slo_fps=None, qos_budget=0.05,
+    ladder=None, restore_interval=None,
 ) -> int:
     from repro.obs import Telemetry, Tracer
     from repro.sharding import (
@@ -377,6 +414,7 @@ def _serve_sharded(
         seed=args.trace_seed,
         slo_fps=slo_fps,
         qos_budget=qos_budget,
+        degrade_ladder=ladder,
     )
     shard_tracers = (
         [Tracer(enabled=True) for _ in range(args.shards)] if tracing else None
@@ -458,6 +496,9 @@ def _serve_sharded(
     if slo_fps is not None:
         payload["config"]["slo_fps"] = slo_fps
         payload["config"]["qos_budget"] = qos_budget
+    if ladder is not None:
+        payload["config"]["degrade_ladder"] = ladder.to_list()
+        payload["config"]["restore_interval"] = restore_interval
     _write_or_print(json.dumps(payload, indent=2), args.out)
     return 0
 
@@ -736,6 +777,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --slo-fps: error budget as a fraction of each session's "
         "duration allowed below target before it counts as a breach "
         "(default 0.05)",
+    )
+    p.add_argument(
+        "--degrade-ladder",
+        default=None,
+        metavar="RES[,RES...]",
+        help="arm the resolution-downscale actuator: comma-separated rungs "
+        "(named presets like 1080p,900p,720p or WxH) retried in order "
+        "before a placement opens a new server",
+    )
+    p.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="disarm the downscale actuator even when --degrade-ladder is "
+        "present (pins the pre-actuator byte-identical behavior)",
+    )
+    p.add_argument(
+        "--restore-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --degrade-ladder: re-promote degraded sessions every N "
+        "arrivals when freed capacity allows (default 256; sharded runs "
+        "restore at chunk barriers instead)",
     )
     p.add_argument("--out", help="write the JSON report here instead of stdout")
     p.add_argument(

@@ -18,6 +18,7 @@ from repro.experiments import (
     ablations,
     ext_completion,
     ext_conservative,
+    ext_degrade,
     ext_delay,
     ext_dynamic,
     ext_hetero,
@@ -56,6 +57,7 @@ EXTENSIONS = (
     ("ext_completion", ext_completion),
     ("ext_hetero", ext_hetero),
     ("ext_importance", ext_importance),
+    ("ext_degrade", ext_degrade),
     ("ablations", ablations),
 )
 

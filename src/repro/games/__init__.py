@@ -16,8 +16,11 @@ from repro.games.curves import CurveShape, SensitivityShape
 from repro.games.game import GameSpec
 from repro.games.genres import Genre, GenreArchetype, genre_archetypes
 from repro.games.resolution import (
+    DEFAULT_DEGRADE_LADDER,
+    NAMED_RESOLUTIONS,
     PRESET_RESOLUTIONS,
     REFERENCE_RESOLUTION,
+    DegradeLadder,
     Resolution,
 )
 from repro.games.validation import ObservationReport, validate_catalog
@@ -35,6 +38,9 @@ __all__ = [
     "Resolution",
     "REFERENCE_RESOLUTION",
     "PRESET_RESOLUTIONS",
+    "NAMED_RESOLUTIONS",
+    "DegradeLadder",
+    "DEFAULT_DEGRADE_LADDER",
     "ObservationReport",
     "validate_catalog",
 ]

@@ -104,6 +104,12 @@ class _OpenRecord:
     fps_minutes: float = 0.0
     violation_minutes: float = 0.0
     burned: bool = field(default=False)
+    # Resolution-actuator state: whether the session is *currently*
+    # served below its request, whether it ever was during this stint,
+    # and how long — the `qos_minutes_degraded` integrand.
+    degraded: bool = False
+    was_degraded: bool = False
+    degraded_minutes: float = 0.0
 
 
 class QoSLedger:
@@ -204,6 +210,7 @@ class QoSLedger:
         now = self._now
         members = self._servers.setdefault(server_id, {})
         self._accrue(members.values(), now)
+        degraded = bool(getattr(session, "degraded", False))
         record = _OpenRecord(
             member_id=member_id,
             server_id=server_id,
@@ -212,6 +219,8 @@ class QoSLedger:
             genre=self._genre(session.game),
             opened_at=now,
             last_time=now,
+            degraded=degraded,
+            was_degraded=degraded,
         )
         members[member_id] = record
         self._recompute(server_id, members, op="place")
@@ -253,6 +262,44 @@ class QoSLedger:
         # closes, so conservation cannot silently break.
         for member_id in sorted(open_members):
             self._close(open_members[member_id], reason=reason)
+
+    def fleet_resolution_changed(
+        self, server_id: int, member_id: int, _old: "Session", new: "Session"
+    ) -> None:
+        """A member's served resolution changed in place (restore loop).
+
+        Time up to now accrues at the old resolution's measured FPS,
+        then the whole group's ground truth is refreshed for the new
+        composition.  The changed member gets a fresh promise — like a
+        newly placed record, its promise reflects the resolution it is
+        *now* served at (its neighbours' promises stay fixed at their own
+        admission, exactly as on :meth:`fleet_placed`).  The change is
+        logged as a ``resolution_change`` event: together with the
+        placement records' degrade fields this is the per-session
+        resolution timeline.
+        """
+        members = self._servers.get(server_id)
+        if members is None or member_id not in members:
+            return
+        now = self._now
+        self._accrue(members.values(), now)
+        record = members[member_id]
+        old_resolution = str(record.session.resolution)
+        degraded = bool(getattr(new, "degraded", False))
+        record.session = new
+        record.entry = self._entry(new)
+        record.degraded = degraded
+        record.was_degraded = record.was_degraded or degraded
+        self._recompute(server_id, members, op="restore")
+        record.promised_fps = self._promise_for(members, record)
+        self.telemetry.event(
+            "resolution_change",
+            time=now,
+            server_id=server_id,
+            game=new.game,
+            old=old_resolution,
+            new=str(new.resolution),
+        )
 
     def mark_eviction(self, reason: str) -> None:
         """Label the *next* eviction's close reason (e.g. ``"migrated"``).
@@ -326,6 +373,8 @@ class QoSLedger:
             record.last_time = until
             record.minutes += dt
             record.fps_minutes += dt * record.current_fps
+            if record.degraded:
+                record.degraded_minutes += dt
             if record.current_fps < self.slo_fps:
                 record.violation_minutes += dt
                 if not record.burned:
@@ -427,6 +476,13 @@ class QoSLedger:
             t.histogram(
                 "qos_violation_minutes", QOS_MINUTES_BUCKETS, **labels
             ).observe(record.violation_minutes)
+            if record.was_degraded:
+                # Instrument is created lazily on first degraded close,
+                # so degrade-disabled runs keep their snapshots
+                # byte-identical.
+                t.histogram(
+                    "qos_minutes_degraded", QOS_MINUTES_BUCKETS, **labels
+                ).observe(record.degraded_minutes)
         violation_fraction = record.violation_minutes / minutes if minutes > 0 else 0.0
         burn_rate = violation_fraction / self.budget_fraction
         t.histogram("slo_burn_rate", BURN_RATE_BUCKETS).observe(burn_rate)
@@ -452,6 +508,7 @@ _QOS_HISTOGRAMS = (
     "fps_residual_underpredict",
     "qos_session_minutes",
     "qos_violation_minutes",
+    "qos_minutes_degraded",
 )
 
 
@@ -541,6 +598,12 @@ def _group_section(groups: dict) -> dict:
             )
         )
         stats["burn_events"] = counters.get("slo_burn_events", 0)
+        degraded_h = hists.get("qos_minutes_degraded")
+        if degraded_h is not None:
+            # Present only when the downscale actuator degraded sessions
+            # in this group — absent keys keep old reports byte-stable.
+            stats["degraded_sessions"] = degraded_h.count
+            stats["degraded_minutes"] = degraded_h.total
         if "qos_sessions_opened" in counters:
             # Only shard groups carry the ledger lifecycle counters (they
             # are unlabeled per broker and gain the shard label on merge);
@@ -623,6 +686,21 @@ def build_qos_section(
             _labeled_groups(snapshot, "shard", forbid=("game", "genre", "reason"))
         ),
     }
+    degraded_h = _hist(hists.get("qos_minutes_degraded"), "qos_minutes_degraded")
+    if degraded_h is not None:
+        # Fleet-wide resolution-actuator accounting; the key exists only
+        # when at least one session closed after a degraded stint, so
+        # degrade-disabled reports stay byte-identical.
+        session_h = _hist(hists.get("qos_session_minutes"), "qos_session_minutes")
+        total_minutes = session_h.total if session_h is not None else 0.0
+        section["degraded"] = {
+            "sessions": degraded_h.count,
+            "minutes": degraded_h.total,
+            "mean_minutes": degraded_h.mean,
+            "minutes_fraction": (
+                degraded_h.total / total_minutes if total_minutes else 0.0
+            ),
+        }
     return section
 
 
@@ -670,7 +748,7 @@ def flatten_qos(section: dict) -> dict[tuple[str, str], float]:
             if isinstance(value, _NUMERIC) and not isinstance(value, bool):
                 rows[(metric, stat)] = float(value)
 
-    for group in ("sessions", "calibration", "slo"):
+    for group in ("sessions", "calibration", "slo", "degraded"):
         if isinstance(section.get(group), dict):
             emit(group, section[group])
     reasons = section.get("sessions", {}).get("close_reasons", {})
@@ -760,6 +838,16 @@ def summarize_qos(section: dict, title: str = "qos") -> str:
                 frac=_fmt(slo.get("violation_fraction", 0.0)),
                 breaches=slo.get("breaches", 0),
                 burns=slo.get("burn_events", 0),
+            )
+        )
+    degraded = section.get("degraded", {})
+    if degraded:
+        lines.append(
+            "degraded: sessions={n} minutes={minutes} "
+            "fraction={frac}".format(
+                n=degraded.get("sessions", 0),
+                minutes=_fmt(degraded.get("minutes", 0.0)),
+                frac=_fmt(degraded.get("minutes_fraction", 0.0)),
             )
         )
     for group, header in (

@@ -4,9 +4,10 @@ This package is the single implementation of "where does this session
 go": canonical signatures and cache keys (:mod:`.signature`), the fleet
 bookkeeping (:mod:`.fleet`), the prediction cache (:mod:`.cache`), the
 placement policies (:mod:`.policies`), circuit breakers (:mod:`.breaker`),
-and the :class:`DecisionEngine` (:mod:`.engine`) that dispatches policies
-— with fallback chains, deadline budgets, breaker-driven degraded modes,
-tracing spans and telemetry — and applies decisions to the fleet.
+and the :class:`DecisionEngine` (:mod:`.engine`) that walks an actuator
+pipeline — breaker-guarded policy steps, the resolution-downscale
+quality actuator, deadline budgets, degraded modes, tracing spans and
+telemetry — and applies decisions to the fleet.
 
 Two thin frontends drive it: the batch-clocked offline simulator
 (:mod:`.offline`, re-exported as
@@ -26,12 +27,15 @@ from repro.placement.assignment import (
 from repro.placement.breaker import BreakerConfig, BreakerState, CircuitBreaker
 from repro.placement.cache import PredictionCache
 from repro.placement.engine import (
+    Actuator,
     AdmissionDecision,
     DecisionEngine,
     Mode,
     PlacementOutcome,
+    PolicyActuator,
+    ResolutionDownscaleActuator,
 )
-from repro.placement.fleet import FleetState, Session
+from repro.placement.fleet import FleetState, Session, degraded_to, promoted_to
 from repro.placement.offline import DynamicMetrics, simulate_sessions
 from repro.placement.policies import (
     POLICY_NAMES,
@@ -53,6 +57,7 @@ from repro.placement.signature import (
 )
 
 __all__ = [
+    "Actuator",
     "AdmissionDecision",
     "AdmissionPolicy",
     "AssignmentResult",
@@ -69,7 +74,9 @@ __all__ = [
     "OfflinePolicyAdapter",
     "POLICY_NAMES",
     "PlacementOutcome",
+    "PolicyActuator",
     "PredictionCache",
+    "ResolutionDownscaleActuator",
     "Session",
     "Signature",
     "VBPFirstFitPolicy",
@@ -78,8 +85,10 @@ __all__ = [
     "assign_worst_fit",
     "build_policy",
     "colocation_key",
+    "degraded_to",
     "entry_of",
     "evaluate_assignment",
+    "promoted_to",
     "signature_add",
     "signature_of",
     "simulate_sessions",

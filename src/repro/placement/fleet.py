@@ -18,44 +18,93 @@ sessions whose time has come), and :meth:`crash` (evict a whole server)
 — which is what lets :class:`repro.placement.DecisionEngine` be the only
 place placement decisions turn into fleet changes.
 
+A fourth verb, :meth:`update_resolution`, supports the resolution
+actuator: it swaps one member's session for a same-game, same-departure
+copy at a different resolution, adjusting the server signature in place
+— the restore loop's promotion primitive (and, symmetrically, how an
+in-place downscale would land).
+
 An optional *observer* (duck-typed: ``fleet_placed`` /
-``fleet_departed`` / ``fleet_evicted``) is notified synchronously after
-each mutation with the stable member ids involved — the hook the QoS
-ledger (:class:`repro.obs.qos.QoSLedger`) uses to mirror group
-composition without the fleet knowing anything about QoS.
+``fleet_departed`` / ``fleet_evicted``, plus the optional
+``fleet_resolution_changed``) is notified synchronously after each
+mutation with the stable member ids involved — the hook the QoS ledger
+(:class:`repro.obs.qos.QoSLedger`) uses to mirror group composition
+without the fleet knowing anything about QoS.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.games.resolution import Resolution
 from repro.placement.signature import Signature, entry_of, signature_add
 
-__all__ = ["Session", "FleetState"]
+__all__ = ["Session", "FleetState", "degraded_to", "promoted_to"]
 
 
 @dataclass(frozen=True)
 class Session:
-    """One play session: a game at a resolution over [arrival, arrival+duration)."""
+    """One play session: a game at a resolution over [arrival, arrival+duration).
+
+    ``resolution`` is the resolution the session is currently served at;
+    ``requested`` remembers the player's original request when the
+    downscale actuator placed (or re-placed) the session below it.  A
+    session with ``requested`` unset was never degraded.  Because the
+    whole :class:`Session` object travels through crash eviction,
+    readmission, shard migration, and failover, degraded state survives
+    all of them without any side-channel bookkeeping.
+    """
 
     game: str
     resolution: Resolution
     arrival: float
     duration: float
+    requested: Resolution | None = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.arrival < 0:
             raise ValueError("arrival must be >= 0")
+        if (
+            self.requested is not None
+            and self.requested.pixels < self.resolution.pixels
+        ):
+            raise ValueError(
+                "requested resolution must not be below the served one"
+            )
 
     @property
     def departure(self) -> float:
         """The instant the session ends."""
         return self.arrival + self.duration
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the session is currently served below its request."""
+        return self.requested is not None and self.resolution != self.requested
+
+
+def degraded_to(session: Session, resolution: Resolution) -> Session:
+    """Copy of ``session`` served at a lower ``resolution``.
+
+    The original request is remembered (first degradation pins it;
+    further degradations keep the original, not the intermediate rung).
+    """
+    requested = session.requested if session.requested is not None else session.resolution
+    return replace(session, resolution=resolution, requested=requested)
+
+
+def promoted_to(session: Session, resolution: Resolution) -> Session:
+    """Copy of ``session`` promoted towards its request.
+
+    ``requested`` is kept even on a full restore — `degraded` turns
+    False by equality, and the QoS ledger still knows the session spent
+    time below its request.
+    """
+    return replace(session, resolution=resolution)
 
 
 class FleetState:
@@ -89,6 +138,7 @@ class FleetState:
         self._next_member_id = 0
         self._seq = 0
         self._n_live = 0
+        self._n_degraded = 0
         self.peak = 0
 
     # -- read side ------------------------------------------------------
@@ -107,6 +157,35 @@ class FleetState:
         stay O(1) regardless of pool size.
         """
         return self._n_live
+
+    @property
+    def n_degraded(self) -> int:
+        """Live sessions currently served below their requested resolution.
+
+        Maintained incrementally so the restore loop's fast path — "is
+        there anything to promote at all?" — is O(1) per barrier.
+        """
+        return self._n_degraded
+
+    def degraded_members(self) -> list[tuple[int, int, Session]]:
+        """Degraded live sessions as ``(server_id, member_id, session)``.
+
+        Ordered by member id (admission order) so restore trajectories
+        are deterministic: the longest-degraded session gets first claim
+        on freed capacity, and no container iteration order leaks in.
+        """
+        out = [
+            (server_id, member_id, session)
+            for server_id, members in self._servers.items()
+            for member_id, session in members
+            if session.degraded
+        ]
+        out.sort(key=lambda m: m[1])
+        return out
+
+    def server_signature(self, server_id: int) -> Signature:
+        """Canonical signature of one open server."""
+        return self._signatures[server_id]
 
     def loads(self) -> dict[int, int]:
         """Member count per open server, in pool (decision-index) order."""
@@ -165,6 +244,8 @@ class FleetState:
         heapq.heappush(self._departures, (session.departure, self._seq, server_id))
         self._seq += 1
         self._n_live += 1
+        if session.degraded:
+            self._n_degraded += 1
         self.peak = max(self.peak, len(self._servers))
         if self.observer is not None:
             self.observer.fleet_placed(server_id, member[0], session)
@@ -203,10 +284,49 @@ class FleetState:
                 i = sig.index(entry_of(session))
                 self._signatures[server_id] = sig[:i] + sig[i + 1 :]
             removed += 1
+            if session.degraded:
+                self._n_degraded -= 1
             if self.observer is not None:
                 self.observer.fleet_departed(server_id, member_id, session, t)
         self._n_live -= removed
         return removed
+
+    def update_resolution(
+        self, server_id: int, member_id: int, session: Session
+    ) -> None:
+        """Swap member ``member_id``'s session for a resolution-changed copy.
+
+        The replacement must be the same session at a different
+        resolution (same game, same interval) — this verb changes *how*
+        a session is served, never *what* is served or *when* it leaves,
+        so departure bookkeeping and member ids stay untouched.  The
+        server's signature is re-canonicalized for the one changed
+        entry.
+        """
+        members = self._servers[server_id]
+        for pos, (mid, old) in enumerate(members):
+            if mid == member_id:
+                break
+        else:
+            raise KeyError(f"member {member_id} not on server {server_id}")
+        if (
+            session.game != old.game
+            or session.arrival != old.arrival
+            or session.duration != old.duration
+        ):
+            raise ValueError(
+                "update_resolution may only change the resolution of a session"
+            )
+        members[pos] = (member_id, session)
+        sig = self._signatures[server_id]
+        i = sig.index(entry_of(old))
+        self._signatures[server_id] = signature_add(
+            sig[:i] + sig[i + 1 :], entry_of(session)
+        )
+        self._n_degraded += int(session.degraded) - int(old.degraded)
+        hook = getattr(self.observer, "fleet_resolution_changed", None)
+        if callable(hook):
+            hook(server_id, member_id, old, session)
 
     def crash(self, server_id: int) -> list[Session]:
         """Evict ``server_id`` wholesale, returning its live sessions.
@@ -222,6 +342,7 @@ class FleetState:
         del self._signatures[server_id]
         self._ids.remove(server_id)
         self._n_live -= len(members)
+        self._n_degraded -= sum(1 for _, s in members if s.degraded)
         ordered = sorted(members, key=lambda m: m[0])
         if self.observer is not None:
             self.observer.fleet_evicted(server_id, ordered)

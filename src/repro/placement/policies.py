@@ -199,6 +199,17 @@ class CMFeasiblePolicy(_InstrumentedPolicy):
                 best, best_size = idx, len(signatures[idx])
         return best
 
+    def group_feasible(self, signature: Signature) -> bool:
+        """CM verdict for one whole colocation (the restore-loop query).
+
+        Answers through the same cache and batched path as
+        :meth:`select`, so promotion probes share verdicts with
+        admission scans of the same group.
+        """
+        if len(signature) > self.max_colocation:
+            return False
+        return self._verdicts([signature])[signature]
+
 
 class MaxFPSPolicy(_InstrumentedPolicy):
     """RM-guided placement: best predicted post-placement FPS (Section 5.2).
@@ -272,6 +283,12 @@ class MaxFPSPolicy(_InstrumentedPolicy):
             if total > best_total:
                 best, best_total = idx, total
         return best
+
+    def group_feasible(self, signature: Signature) -> bool:
+        """RM verdict for one whole colocation: every member meets the floor."""
+        if len(signature) > self.max_colocation:
+            return False
+        return min(self._fps([signature])[signature]) >= self.qos
 
 
 class WorstFitPolicy:

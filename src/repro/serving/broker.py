@@ -60,7 +60,9 @@ class PlacementRecord:
     of the server that ended up hosting the session.  ``readmitted``
     marks a session displaced by a server crash and placed again;
     ``migrated`` marks a session moved in from another fleet shard by
-    the rebalancer.
+    the rebalancer.  ``resolution``/``requested`` are set only when the
+    downscale actuator placed the session below its request — records
+    from degrade-disabled runs keep the historical eight-key shape.
     """
 
     index: int
@@ -71,10 +73,12 @@ class PlacementRecord:
     fallback: bool
     readmitted: bool = False
     migrated: bool = False
+    resolution: str | None = None
+    requested: str | None = None
 
     def to_dict(self) -> dict:
-        """JSON-able form."""
-        return {
+        """JSON-able form (degrade keys only for degraded placements)."""
+        payload = {
             "index": self.index,
             "game": self.game,
             "choice": self.choice,
@@ -84,6 +88,10 @@ class PlacementRecord:
             "readmitted": self.readmitted,
             "migrated": self.migrated,
         }
+        if self.resolution is not None:
+            payload["resolution"] = self.resolution
+            payload["requested"] = self.requested
+        return payload
 
 
 @dataclass
@@ -151,6 +159,12 @@ class RequestBroker:
     :class:`PlacementRecord` lists (the counters and histograms still
     accumulate) — the memory valve the million-session scale benchmarks
     need; everything per-arrival is then only in telemetry.
+
+    ``restore_interval`` (arrivals) periodically runs the controller's
+    restore loop, re-promoting downscale-degraded sessions that
+    departure-freed capacity now allows; ``None`` (the default) leaves
+    restoration to an external driver — the sharded tier promotes at its
+    chunk/rebalance barriers instead.
     """
 
     def __init__(
@@ -162,9 +176,15 @@ class RequestBroker:
         tracer: Tracer | None = None,
         keep_records: bool = True,
         ledger=None,
+        restore_interval: int | None = None,
     ):
         if not 0.0 <= crash_rate <= 1.0:
             raise ValueError(f"crash_rate must be in [0, 1], got {crash_rate}")
+        if restore_interval is not None and restore_interval <= 0:
+            raise ValueError(
+                f"restore_interval must be positive, got {restore_interval}"
+            )
+        self.restore_interval = restore_interval
         self.controller = controller
         self.crash_rate = float(crash_rate)
         self.crash_seed = int(crash_seed)
@@ -224,6 +244,12 @@ class RequestBroker:
         removed = self.fleet.pop_departures(session.arrival)
         if removed:
             self.controller.telemetry.counter("departures").inc(removed)
+        if (
+            self.restore_interval is not None
+            and self._n_arrivals
+            and self._n_arrivals % self.restore_interval == 0
+        ):
+            self.restore_degraded(now=session.arrival, index=index)
         self._maybe_crash(session.arrival, index)
         record = self._admit(session, index, readmitted=False)
         self._n_arrivals += 1
@@ -251,6 +277,15 @@ class RequestBroker:
                 "readmissions": counters.get("readmissions", 0),
             }
         )
+        downscale = getattr(self.controller, "downscale", None)
+        if downscale is not None:
+            # Extra key only when the actuator rode the run: degrade-
+            # disabled reports stay byte-identical to previous releases.
+            resilience["downscale"] = {
+                "ladder": downscale.ladder.to_list(),
+                "restore": bool(self.controller.can_restore),
+                "restore_interval": self.restore_interval,
+            }
         return ServingReport(
             placements=self._placements,
             servers_opened=self.fleet.servers_opened,
@@ -262,6 +297,30 @@ class RequestBroker:
             n_arrivals=self._n_arrivals,
             qos=self.ledger.section(snapshot) if self.ledger is not None else {},
         )
+
+    # -- restore hook (timer-driven here, barrier-driven when sharded) --
+
+    def restore_degraded(self, *, now: float, index: int) -> int:
+        """Re-promote degraded sessions that freed capacity now allows.
+
+        Delegates to :meth:`repro.placement.DecisionEngine.restore`;
+        called every ``restore_interval`` arrivals when configured, and
+        by the sharded tier at its chunk/rebalance barriers.  A no-op
+        (touching no telemetry at all) when the controller has no
+        operable restore path or nothing is degraded.
+        """
+        if not getattr(self.controller, "can_restore", False):
+            return 0
+        if self.fleet.n_degraded == 0:
+            return 0
+        if self.ledger is not None:
+            self.ledger.advance(now)
+        promoted = self.controller.restore(self.fleet)
+        if promoted:
+            self.controller.telemetry.event(
+                "restore", time=now, arrival_index=index, promoted=promoted
+            )
+        return promoted
 
     # -- migration hooks (driven by repro.sharding.Rebalancer) ----------
 
@@ -339,6 +398,8 @@ class RequestBroker:
             outcome = self.controller.admit(self.fleet, session)
             self.controller.telemetry.gauge("open_servers").set(self.fleet.n_open)
             span.set(server_id=outcome.server_id, policy=outcome.policy)
+        placed = getattr(outcome, "session", None) or session
+        degraded = getattr(placed, "degraded", False)
         return PlacementRecord(
             index=index,
             game=session.game,
@@ -348,6 +409,8 @@ class RequestBroker:
             fallback=outcome.fallback,
             readmitted=readmitted,
             migrated=migrated,
+            resolution=str(placed.resolution) if degraded else None,
+            requested=str(placed.requested) if degraded else None,
         )
 
     def _maybe_crash(self, now: float, index: int) -> None:

@@ -38,6 +38,7 @@ from concurrent.futures import TimeoutError as DrainTimeout
 from dataclasses import dataclass, field
 from itertools import islice
 
+from repro.games.resolution import DegradeLadder
 from repro.obs.metrics import Telemetry, label_snapshot, merge_all
 from repro.obs.tracing import NOOP_TRACER, Tracer
 from repro.placement.fleet import Session
@@ -86,6 +87,9 @@ class ShardConfig:
     #: SLO error budget: tolerated fraction of a session's lifetime below
     #: ``slo_fps`` before its budget burns.
     qos_budget: float = 0.05
+    #: Resolution ladder for the downscale actuator; ``None`` disables
+    #: quality degradation entirely (byte-identical to pre-actuator runs).
+    degrade_ladder: DegradeLadder | None = None
 
 
 def build_shard_brokers(
@@ -153,6 +157,7 @@ def build_shard_brokers(
             breaker=BreakerConfig(failure_threshold=config.breaker_threshold),
             decision_deadline_s=config.decision_deadline_s,
             tracer=tracers[shard_id] if tracers is not None else None,
+            downscale_ladder=config.degrade_ladder,
         )
         ledger = None
         if config.slo_fps is not None:
@@ -311,6 +316,12 @@ class ShardedBroker:
         # Supervision only observably acts when the chaos schedule can
         # fire; gating here keeps zero-chaos runs byte-exact pass-throughs.
         self._supervising = supervisor is not None and supervisor.active
+        # Degraded-session promotion runs at chunk barriers only when at
+        # least one shard carries an operable restore path; gating keeps
+        # ladder-less runs byte-exact.
+        self._restoring = any(
+            getattr(b.controller, "can_restore", False) for b in self.brokers
+        )
         self.parallel = bool(parallel)
         if chunk_size is None:
             interval = rebalancer.config.interval if rebalancer is not None else 0
@@ -422,6 +433,16 @@ class ShardedBroker:
                             self.router.shard_ids if self._supervising else None
                         ),
                     )
+                # Restore after any migration settled: each shard
+                # re-promotes downscale-degraded sessions its freed (or
+                # rebalanced) capacity now supports.  Sessions migrated
+                # while degraded keep their state (the whole Session
+                # object travels), so the destination shard promotes them.
+                if self._restoring:
+                    for broker in self.brokers:
+                        broker.restore_degraded(
+                            now=chunk[-1].arrival, index=index - 1
+                        )
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)

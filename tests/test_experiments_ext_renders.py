@@ -4,6 +4,7 @@
 from repro.experiments import (
     ablations,
     ext_completion,
+    ext_degrade,
     ext_delay,
     ext_dynamic,
     ext_hetero,
@@ -81,6 +82,37 @@ class TestRenders:
         )
         # Sorted descending: GPU-CE leads.
         assert text.index("GPU-CE") < text.index("CPU-CE")
+
+    def test_ext_degrade_render(self):
+        metrics = {
+            "servers_opened": 175,
+            "peak_servers": 106,
+            "downscales": 0,
+            "restores": 0,
+            "degraded_sessions": 0,
+            "degraded_minutes": 0.0,
+            "slo_breaches": 110,
+        }
+        text = ext_degrade.render(
+            {
+                "qos": 60.0,
+                "n_requests": 600,
+                "arrival_rate": 8.0,
+                "ladder": ["1920x1080", "1600x900", "1280x720"],
+                "restore_interval": 64,
+                "variants": {
+                    "baseline (1080p only)": metrics,
+                    "downscale + restore": dict(metrics, servers_opened=108),
+                    "downscale + 10% margin": dict(metrics, servers_opened=135),
+                },
+                "servers_saved": 40,
+                "breaches_saved": 25,
+            }
+        )
+        assert "resolution-downscale" in text
+        assert "1920x1080 > 1600x900 > 1280x720" in text
+        assert "saves 40 servers and 25 breaches" in text
+        assert "baseline (1080p only)" in text
 
     def test_ablations_render(self):
         text = ablations.render(

@@ -1,0 +1,118 @@
+"""Tests for named resolutions and the degrade ladder (satellite of the
+actuator-pipeline PR): parsing, ordering, rung queries, validation."""
+
+import pytest
+
+from repro.games.resolution import (
+    DEFAULT_DEGRADE_LADDER,
+    NAMED_RESOLUTIONS,
+    PRESET_RESOLUTIONS,
+    REFERENCE_RESOLUTION,
+    DegradeLadder,
+    Resolution,
+)
+
+
+class TestFromStr:
+    def test_named_presets(self):
+        assert Resolution.from_str("1080p") == Resolution(1920, 1080)
+        assert Resolution.from_str("900p") == Resolution(1600, 900)
+        assert Resolution.from_str("720p") == Resolution(1280, 720)
+        assert Resolution.from_str("4k") == Resolution(3840, 2160)
+
+    def test_case_insensitive(self):
+        assert Resolution.from_str("1080P") == Resolution(1920, 1080)
+        assert Resolution.from_str("4K") == Resolution(3840, 2160)
+
+    def test_explicit_wxh(self):
+        assert Resolution.from_str("1600x900") == Resolution(1600, 900)
+        assert Resolution.from_str("800X600") == Resolution(800, 600)
+
+    def test_whitespace_tolerated(self):
+        assert Resolution.from_str(" 720p ") == Resolution(1280, 720)
+
+    @pytest.mark.parametrize("text", ["bogus", "1920x", "x1080", "0x100", "axb"])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(ValueError, match="bad resolution"):
+            Resolution.from_str(text)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty resolution"):
+            Resolution.from_str("")
+
+    def test_error_lists_known_presets(self):
+        with pytest.raises(ValueError, match="1080p"):
+            Resolution.from_str("wat")
+
+    def test_named_table_consistent_with_presets(self):
+        assert set(PRESET_RESOLUTIONS) <= set(NAMED_RESOLUTIONS.values())
+
+
+class TestPixelRatioValidation:
+    def test_rejects_bad_reference(self):
+        with pytest.raises(ValueError):
+            Resolution(1920, 1080).pixel_ratio("1080p")
+
+    def test_rejects_none_pixels(self):
+        class Fake:
+            pixels = 0
+
+        with pytest.raises(ValueError):
+            Resolution(1920, 1080).pixel_ratio(Fake())
+
+    def test_valid_reference_still_works(self):
+        assert Resolution(1920, 1080).pixel_ratio(REFERENCE_RESOLUTION) == 1.0
+
+
+class TestDegradeLadder:
+    def test_sorted_descending_by_pixels(self):
+        ladder = DegradeLadder(
+            (Resolution(1280, 720), Resolution(1920, 1080), Resolution(1600, 900))
+        )
+        assert [r.pixels for r in ladder.rungs] == sorted(
+            (r.pixels for r in ladder.rungs), reverse=True
+        )
+
+    def test_from_str_round_trip(self):
+        ladder = DegradeLadder.from_str("1080p,900p,720p")
+        assert ladder.to_list() == ["1920x1080", "1600x900", "1280x720"]
+
+    def test_from_str_malformed_rung(self):
+        with pytest.raises(ValueError, match="bad resolution"):
+            DegradeLadder.from_str("1080p,nope")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DegradeLadder(())
+
+    def test_rejects_duplicate_pixel_counts(self):
+        with pytest.raises(ValueError):
+            DegradeLadder.from_str("1080p,1080p")
+
+    def test_len_and_iter(self):
+        ladder = DegradeLadder.from_str("1080p,720p")
+        assert len(ladder) == 2
+        assert list(ladder) == [Resolution(1920, 1080), Resolution(1280, 720)]
+
+    def test_rungs_below_strict(self):
+        ladder = DegradeLadder.from_str("1080p,900p,720p")
+        below = ladder.rungs_below(Resolution(1920, 1080))
+        assert below == (Resolution(1600, 900), Resolution(1280, 720))
+        assert ladder.rungs_below(Resolution(1280, 720)) == ()
+
+    def test_rungs_below_off_ladder_resolution(self):
+        ladder = DegradeLadder.from_str("1080p,900p,720p")
+        assert ladder.rungs_below(Resolution(1700, 1000)) == (
+            Resolution(1600, 900),
+            Resolution(1280, 720),
+        )
+
+    def test_rungs_between_exclusive(self):
+        ladder = DegradeLadder.from_str("1080p,900p,720p")
+        between = ladder.rungs_between(Resolution(1280, 720), Resolution(1920, 1080))
+        assert between == (Resolution(1600, 900),)
+
+    def test_default_ladder_covers_presets(self):
+        assert tuple(DEFAULT_DEGRADE_LADDER) == tuple(
+            sorted(PRESET_RESOLUTIONS, key=lambda r: r.pixels, reverse=True)
+        )

@@ -1,0 +1,353 @@
+"""Serving-tier tests for the downscale actuator and restore loop.
+
+Covers the refactor's byte-parity contract (the default pipeline vs the
+frozen pre-refactor engine under seeded chaos, and ``--no-degrade`` vs a
+flag-less serve), the degraded placement surface of the broker report,
+restore at arrival intervals and sharded chunk barriers, and degraded
+sessions surviving crash/migration/failover with conservation intact.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.games import DegradeLadder
+from repro.obs import QoSLedger, Telemetry
+from repro.placement import BreakerConfig, CMFeasiblePolicy, PredictionCache
+from repro.placement.policies import WorstFitPolicy
+from repro.serving import (
+    AdmissionController,
+    FaultConfig,
+    FaultInjector,
+    RequestBroker,
+    TraceConfig,
+    generate_trace,
+)
+
+LADDER = DegradeLadder.from_str("1080p,900p,720p")
+
+
+@pytest.fixture()
+def predictor_path(minilab, tmp_path):
+    path = tmp_path / "predictor.json"
+    minilab.predictor.save(path)
+    return str(path)
+
+
+def normalized(payload):
+    """A report with wall-clock timing scrubbed, structure intact.
+
+    Latency histograms (any metric ending in ``_s``) vary run to run —
+    totals, means, percentiles, and which latency bucket a sample lands
+    in.  Everything else (counters, events, placements, resilience,
+    config) must match exactly.
+    """
+
+    def scrub_hist(hist):
+        # One histogram payload (plain) or a list of labeled payloads.
+        if isinstance(hist, list):
+            return [scrub_hist(h) for h in hist]
+        return {"count": hist.get("count"), "labels": hist.get("labels")}
+
+    def scrub(node):
+        if isinstance(node, dict):
+            out = {}
+            for key, value in node.items():
+                if key == "histograms" and isinstance(value, dict):
+                    out[key] = {
+                        name: scrub_hist(hist) if name.endswith("_s") else hist
+                        for name, hist in value.items()
+                    }
+                else:
+                    out[key] = scrub(value)
+            return out
+        if isinstance(node, list):
+            return [scrub(v) for v in node]
+        return node
+
+    return scrub(payload)
+
+
+def build_controller(minilab, engine_cls, **kwargs):
+    telemetry = Telemetry()
+    injector = FaultInjector(
+        FaultConfig(error_rate=0.08, corrupt_rate=0.02, seed=11),
+        telemetry=telemetry,
+    )
+    policy = injector.wrap_policy(
+        CMFeasiblePolicy(minilab.predictor, 45.0, cache=PredictionCache(256))
+    )
+    fallback = WorstFitPolicy(minilab.vbp)
+    return engine_cls(
+        policy,
+        fallback=fallback,
+        telemetry=telemetry,
+        breaker=BreakerConfig(
+            failure_threshold=0.5, window=12, min_requests=4, cooldown=10
+        ),
+        decision_deadline_s=5.0,
+        **kwargs,
+    )
+
+
+class TestPreRefactorParity:
+    """The pipeline's default chain IS the old engine, byte for byte."""
+
+    def test_chaos_run_matches_frozen_engine(self, minilab):
+        from tests import _reference_engine as frozen
+
+        trace = TraceConfig(
+            n_requests=250, arrival_rate=6.0, mean_duration=20.0, seed=5
+        )
+        sessions = generate_trace(minilab.predictor.db.names(), trace)
+
+        def serve(engine_cls):
+            controller = build_controller(minilab, engine_cls)
+            broker = RequestBroker(controller, crash_rate=0.03, crash_seed=5)
+            report = broker.run(list(sessions))
+            return normalized(report.to_dict())
+
+        new = serve(AdmissionController)
+        old = serve(frozen.DecisionEngine)
+        assert new == old
+
+    def test_resilience_snapshot_keys_unchanged(self, minilab):
+        from tests import _reference_engine as frozen
+
+        new = build_controller(minilab, AdmissionController)
+        old = build_controller(minilab, frozen.DecisionEngine)
+        assert new.resilience_snapshot() == old.resilience_snapshot()
+
+
+class TestDegradedServing:
+    def run_broker(self, minilab, *, ladder=None, restore_interval=None, qos=45.0):
+        telemetry = Telemetry()
+        controller = AdmissionController(
+            CMFeasiblePolicy(minilab.predictor, qos),
+            telemetry=telemetry,
+            downscale_ladder=ladder,
+        )
+        ledger = QoSLedger(
+            minilab.catalog, minilab.predictor, slo_fps=qos, server=minilab.server
+        )
+        broker = RequestBroker(
+            controller, ledger=ledger, restore_interval=restore_interval
+        )
+        trace = TraceConfig(
+            n_requests=220, arrival_rate=9.0, mean_duration=25.0, seed=3
+        )
+        sessions = generate_trace(minilab.predictor.db.names(), trace)
+        return broker.run(list(sessions))
+
+    def test_degraded_records_carry_both_resolutions(self, minilab):
+        report = self.run_broker(minilab, ladder=LADDER, restore_interval=50)
+        degraded = [p for p in report.placements if p.resolution is not None]
+        assert degraded, "expected at least one downscaled placement"
+        for record in degraded:
+            assert record.requested == "1920x1080"
+            assert record.resolution in ("1600x900", "1280x720")
+        plain = [p for p in report.placements if p.resolution is None]
+        assert all("resolution" not in p.to_dict() for p in plain)
+
+    def test_qos_ledger_books_degraded_minutes(self, minilab):
+        report = self.run_broker(minilab, ladder=LADDER, restore_interval=50)
+        assert report.qos["sessions"]["conservation_errors"] == 0
+        degraded = report.qos.get("degraded")
+        assert degraded is not None
+        assert degraded["sessions"] > 0
+        assert degraded["minutes"] > 0
+        assert 0 < degraded["minutes_fraction"] < 1
+
+    def test_qos_degraded_absent_without_ladder(self, minilab):
+        report = self.run_broker(minilab)
+        assert "degraded" not in report.qos
+        assert all("resolution" not in p.to_dict() for p in report.placements)
+
+    def test_resilience_reports_downscale_block(self, minilab):
+        report = self.run_broker(minilab, ladder=LADDER, restore_interval=50)
+        block = report.resilience["downscale"]
+        assert block["ladder"] == ["1920x1080", "1600x900", "1280x720"]
+        assert block["restore"] is True
+        assert block["restore_interval"] == 50
+
+    def test_restore_loop_emits_events_and_promotes(self, minilab):
+        report = self.run_broker(minilab, ladder=LADDER, restore_interval=25)
+        events = [
+            e
+            for e in report.telemetry.get("events", [])
+            if e.get("event") == "restore"
+        ]
+        counters = report.telemetry.get("labeled", {}).get("counters", {})
+        restores = sum(e["value"] for e in counters.get("restores", ()))
+        if restores:
+            assert events, "restore promotions should emit restore events"
+            assert sum(e["promoted"] for e in events) == restores
+
+
+class TestDegradedSharded:
+    def test_degraded_sessions_survive_chaos(self, minilab):
+        from repro.sharding import (
+            RebalanceConfig,
+            Rebalancer,
+            ShardChaos,
+            ShardChaosConfig,
+            ShardConfig,
+            ShardedBroker,
+            ShardSupervisor,
+            SupervisorConfig,
+            build_shard_brokers,
+        )
+
+        telemetry = Telemetry()
+        config = ShardConfig(
+            policy="cm-feasible",
+            qos=45.0,
+            crash_rate=0.02,
+            seed=9,
+            slo_fps=45.0,
+            degrade_ladder=LADDER,
+        )
+        brokers = build_shard_brokers(
+            minilab.predictor, 3, config, catalog=minilab.catalog
+        )
+        chaos = ShardChaos(
+            ShardChaosConfig(outage_rate=0.25, outage_chunks=1, seed=9), 3
+        )
+        broker = ShardedBroker(
+            brokers,
+            rebalancer=Rebalancer(RebalanceConfig(interval=40), telemetry=telemetry),
+            supervisor=ShardSupervisor(chaos, SupervisorConfig(min_healthy=1)),
+            telemetry=telemetry,
+        )
+        trace = TraceConfig(
+            n_requests=300, arrival_rate=9.0, mean_duration=25.0, seed=9
+        )
+        sessions = generate_trace(minilab.predictor.db.names(), trace)
+        report = broker.run(list(sessions))
+        payload = report.to_dict()
+        qos = payload["qos"]
+        assert qos["sessions"]["opened"] == qos["sessions"]["closed"]
+        lost = payload["telemetry"]["counters"].get("sessions_lost", 0)
+        assert lost == 0
+        assert qos.get("degraded", {}).get("sessions", 0) > 0, (
+            "expected degraded sessions to survive migration/failover"
+        )
+
+
+class TestServeCliDegrade:
+    def serve(self, predictor_path, tmp_path, *extra, requests="150"):
+        out = tmp_path / f"report{abs(hash(extra)) % 10**8}.json"
+        rc = main(
+            [
+                "serve",
+                "--predictor",
+                predictor_path,
+                "--requests",
+                requests,
+                "--arrival-rate",
+                "8",
+                "--out",
+                str(out),
+                *extra,
+            ]
+        )
+        return rc, out
+
+    def test_malformed_ladder_one_line_error(self, predictor_path, tmp_path, capsys):
+        rc, _ = self.serve(predictor_path, tmp_path, "--degrade-ladder", "nope")
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: bad resolution 'nope'")
+        assert err.count("\n") == 1
+
+    def test_restore_interval_requires_ladder(self, predictor_path, tmp_path, capsys):
+        rc, _ = self.serve(predictor_path, tmp_path, "--restore-interval", "10")
+        assert rc == 2
+        assert "requires --degrade-ladder" in capsys.readouterr().err
+
+    def test_bad_restore_interval_rejected(self, predictor_path, tmp_path, capsys):
+        rc, _ = self.serve(
+            predictor_path,
+            tmp_path,
+            "--degrade-ladder",
+            "1080p,720p",
+            "--restore-interval",
+            "0",
+        )
+        assert rc == 1
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_config_keys_only_when_armed(self, predictor_path, tmp_path):
+        rc, out = self.serve(
+            predictor_path, tmp_path, "--degrade-ladder", "1080p,900p,720p"
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["config"]["degrade_ladder"] == [
+            "1920x1080",
+            "1600x900",
+            "1280x720",
+        ]
+        assert payload["config"]["restore_interval"] == 256
+
+        rc, out = self.serve(predictor_path, tmp_path)
+        payload = json.loads(out.read_text())
+        assert "degrade_ladder" not in payload["config"]
+        assert "restore_interval" not in payload["config"]
+
+    def test_no_degrade_byte_identical_to_flagless(self, predictor_path, tmp_path):
+        rc1, out1 = self.serve(predictor_path, tmp_path, "--crash-rate", "0.02")
+        rc2, out2 = self.serve(
+            predictor_path,
+            tmp_path,
+            "--crash-rate",
+            "0.02",
+            "--degrade-ladder",
+            "1080p,900p,720p",
+            "--no-degrade",
+        )
+        assert rc1 == rc2 == 0
+        a = normalized(json.loads(out1.read_text()))
+        b = normalized(json.loads(out2.read_text()))
+        assert a == b
+
+    def test_no_degrade_sharded_byte_identical(self, predictor_path, tmp_path):
+        common = ("--shards", "2", "--rebalance-interval", "50")
+        rc1, out1 = self.serve(predictor_path, tmp_path, *common)
+        rc2, out2 = self.serve(
+            predictor_path,
+            tmp_path,
+            *common,
+            "--degrade-ladder",
+            "1080p,720p",
+            "--no-degrade",
+        )
+        assert rc1 == rc2 == 0
+        a = normalized(json.loads(out1.read_text()))
+        b = normalized(json.loads(out2.read_text()))
+        assert a == b
+
+    def test_sharded_degrade_end_to_end(self, predictor_path, tmp_path):
+        rc, out = self.serve(
+            predictor_path,
+            tmp_path,
+            "--shards",
+            "2",
+            "--rebalance-interval",
+            "40",
+            "--slo-fps",
+            "45",
+            "--degrade-ladder",
+            "1080p,900p,720p",
+            requests="250",
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        qos = payload["qos"]
+        assert qos["sessions"]["opened"] == qos["sessions"]["closed"]
+        assert payload["config"]["degrade_ladder"] == [
+            "1920x1080",
+            "1600x900",
+            "1280x720",
+        ]
